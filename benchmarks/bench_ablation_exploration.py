@@ -1,0 +1,42 @@
+"""Ablation — pure exploitation vs balanced UCB1 exploration (§V-B discussion).
+
+The paper observes that pure exploitation (c = 0) can win on individual
+problems but a balanced c = 0.2 is better on average, and that large c
+degrades performance.  This ablation runs ABONN with c ∈ {0, 0.2, 1.0} over
+the suite and reports solved counts and average times.
+"""
+
+from bench_harness import (
+    get_suite,
+    per_instance_budget,
+    save_output,
+    timeout_charge_seconds,
+)
+from repro.core import AbonnConfig, AbonnVerifier
+from repro.experiments import average_time, render_table, run_suite, solved_count
+
+EXPLORATIONS = (0.0, 0.2, 1.0)
+
+
+def test_ablation_exploration_constant(benchmark):
+    suite = get_suite()
+
+    def sweep():
+        outcome = {}
+        for c in EXPLORATIONS:
+            outcome[c] = run_suite(
+                lambda c=c: AbonnVerifier(AbonnConfig(exploration=c)),
+                suite, per_instance_budget())
+        return outcome
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for c, result in results.items():
+        rows.append([f"c={c:g}", solved_count(result.runs),
+                     round(average_time(result.runs, timeout_charge_seconds()), 3),
+                     round(sum(run.nodes for run in result.runs) / len(result.runs), 1)])
+    text = render_table(["configuration", "solved", "avg time (s)", "avg nodes"], rows,
+                        title="Ablation: UCB1 exploration constant (exploitation vs "
+                              "exploration)")
+    save_output("ablation_exploration.txt", text)
+    assert all(len(result) == len(suite) for result in results.values())

@@ -1,0 +1,47 @@
+"""Ablation — interaction of ABONN with different ReLU branching heuristics.
+
+The paper notes (§V-B, RQ3) that ABONN's adaptive exploration interacts with
+the ReLU selection heuristic, and names improving that interaction as future
+work.  This ablation runs ABONN with each available branching heuristic over
+a subset of the suite and reports solved counts, average times and average
+tree sizes.
+"""
+
+from bench_harness import (
+    get_suite,
+    per_instance_budget,
+    save_output,
+    timeout_charge_seconds,
+)
+from repro.core import AbonnConfig, AbonnVerifier
+from repro.experiments import average_nodes, average_time, render_table, run_suite, solved_count
+
+HEURISTICS = ("deepsplit", "babsr", "widest", "random")
+
+
+def test_ablation_branching_heuristics(benchmark):
+    suite = get_suite()
+    # A subset keeps the sweep affordable: the first two instances per family.
+    instances = []
+    for family in suite.families:
+        instances.extend(suite.by_family(family)[:2])
+
+    def sweep():
+        outcome = {}
+        for heuristic in HEURISTICS:
+            outcome[heuristic] = run_suite(
+                lambda heuristic=heuristic: AbonnVerifier(
+                    AbonnConfig(heuristic=heuristic)),
+                suite, per_instance_budget(), instances=instances)
+        return outcome
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for heuristic, result in results.items():
+        rows.append([heuristic, solved_count(result.runs),
+                     round(average_time(result.runs, timeout_charge_seconds()), 3),
+                     round(average_nodes(result.runs), 1)])
+    text = render_table(["heuristic", "solved", "avg time (s)", "avg nodes"], rows,
+                        title="Ablation: ABONN with different branching heuristics")
+    save_output("ablation_heuristics.txt", text)
+    assert all(len(result) == len(instances) for result in results.values())

@@ -1,0 +1,17 @@
+"""Fig. 3 — distribution of the sizes of the BaB-baseline trees.
+
+Runs BaB-baseline over every suite instance and bins the resulting tree
+sizes into the paper's histogram buckets (0-10, 11-50, ..., 1000-).
+"""
+
+from bench_harness import get_run, get_suite, save_output
+from repro.experiments import fig3_tree_size_histogram, render_fig3
+
+
+def test_fig3_tree_size_distribution(benchmark):
+    get_suite()  # build the suite outside the timed section
+    baseline = benchmark.pedantic(lambda: get_run("BaB-baseline"), rounds=1, iterations=1)
+    histogram = fig3_tree_size_histogram(baseline)
+    save_output("fig3_tree_sizes.txt", render_fig3(histogram))
+    total = sum(sum(counts.values()) for counts in histogram.values())
+    assert total == len(get_suite())

@@ -1,0 +1,30 @@
+"""Fig. 4 (RQ1) — per-instance speedup of ABONN over BaB-baseline.
+
+For every suite instance the scatter point is (ABONN time, speedup =
+T_BaB-baseline / T_ABONN).  The bench prints a per-family summary of the
+scatter (mean/median/max speedup, share of instances above 1x) and persists
+the raw points as CSV for external plotting.
+"""
+
+from bench_harness import get_run, get_suite, save_output
+from repro.experiments import fig4_speedup_scatter, render_fig4, rows_to_csv
+from repro.experiments.figures import scatter_points_csv_rows
+
+
+def test_fig4_speedup_over_baseline(benchmark):
+    get_suite()
+
+    def run_both():
+        return get_run("ABONN"), get_run("BaB-baseline")
+
+    abonn, baseline = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    scatter = fig4_speedup_scatter(abonn, baseline)
+    save_output("fig4_speedup_summary.txt", render_fig4(scatter))
+    csv_text = rows_to_csv(["family", "instance", "abonn_time_s", "speedup",
+                            "node_speedup"], scatter_points_csv_rows(scatter))
+    save_output("fig4_speedup_points.csv", csv_text.strip())
+
+    assert sum(len(points) for points in scatter.values()) == len(get_suite())
+    for points in scatter.values():
+        for point in points:
+            assert point.speedup > 0

@@ -1,0 +1,48 @@
+"""Fig. 5 (RQ2) — impact of the hyperparameters λ and c.
+
+Sweeps ABONN over the paper's grid (λ ∈ {0, 0.5, 1}, c ∈ {0, 0.2, ..., 1.0})
+on the MNIST_L4 family (the family whose solved counts in the paper's
+Fig. 5c match Table II's MNIST_L4 row) and reports the three panels:
+average speedup w.r.t. BaB-baseline, average time, and solved problems.
+"""
+
+from bench_harness import (
+    get_run,
+    get_suite,
+    per_instance_budget,
+    save_output,
+    timeout_charge_seconds,
+)
+from repro.core import AbonnConfig, AbonnVerifier
+from repro.experiments import fig5_hyperparameter_grid, render_fig5
+
+LAMBDAS = (0.0, 0.5, 1.0)
+EXPLORATIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _grid_instances():
+    suite = get_suite()
+    family = "MNIST_L4" if "MNIST_L4" in suite.families else suite.families[0]
+    return suite, suite.by_family(family)
+
+
+def test_fig5_hyperparameter_grid(benchmark):
+    suite, instances = _grid_instances()
+    baseline = get_run("BaB-baseline")
+
+    def sweep():
+        return fig5_hyperparameter_grid(
+            suite, baseline,
+            make_abonn=lambda lam, c: AbonnVerifier(AbonnConfig(lam=lam, exploration=c)),
+            budget=per_instance_budget(),
+            lambdas=LAMBDAS,
+            explorations=EXPLORATIONS,
+            instances=instances,
+            timeout_seconds=timeout_charge_seconds())
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("fig5_hyperparameters.txt", render_fig5(grid))
+
+    assert len(grid.cells) == len(LAMBDAS) * len(EXPLORATIONS)
+    # Every cell solved a consistent subset of the evaluation instances.
+    assert all(0 <= cell.solved <= len(instances) for cell in grid.cells)

@@ -1,0 +1,29 @@
+"""Fig. 6 (RQ3) — BaB-baseline vs ABONN on violated and certified problems.
+
+Splits the suite instances into violated / certified groups (using the union
+of conclusive verdicts as ground truth) and reports the five-number summary
+of verification time for BaB-baseline and ABONN on each group, for the two
+model families the paper shows (one dense, one convolutional).
+"""
+
+from bench_harness import get_matrix, get_suite, save_output, timeout_charge_seconds
+from repro.experiments import fig6_violated_certified, render_fig6
+
+
+def _families_of_interest(suite):
+    chosen = [name for name in ("MNIST_L2", "CIFAR_DEEP") if name in suite.families]
+    return chosen or list(suite.families[:2])
+
+
+def test_fig6_violated_vs_certified(benchmark):
+    suite = get_suite()
+    results = benchmark.pedantic(get_matrix, rounds=1, iterations=1)
+    comparison = {name: results[name] for name in ("BaB-baseline", "ABONN")}
+    boxes = fig6_violated_certified(suite, comparison,
+                                    families=_families_of_interest(suite),
+                                    timeout_seconds=timeout_charge_seconds())
+    save_output("fig6_violated_certified.txt", render_fig6(boxes))
+
+    assert boxes, "the RQ3 breakdown must produce at least one group"
+    families = {box.family for box in boxes}
+    assert families <= set(suite.families)

@@ -1,0 +1,122 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper.  The
+expensive artefacts (the trained model zoo, the benchmark suite, and the
+three-verifier run matrix) are computed once per pytest session and shared
+through the cached helpers below.
+
+The scale of the regeneration is controlled by environment variables so the
+same harness can run as a quick smoke check or as a full evaluation:
+
+=========================  =======================================  =========
+variable                   meaning                                  default
+=========================  =======================================  =========
+``REPRO_BENCH_FAMILIES``   comma-separated model families           all five
+``REPRO_BENCH_INSTANCES``  instances per family                     8
+``REPRO_BENCH_NODES``      node budget per instance                 250
+``REPRO_BENCH_SECONDS``    wall-clock budget per instance (seconds) 60
+``REPRO_BENCH_SEED``       suite generation seed                    0
+=========================  =======================================  =========
+
+Rendered tables/figures are printed and also written to
+``benchmarks/output/`` so they can be inspected after the run and compared
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict
+
+from repro.bab import BaBBaselineVerifier
+from repro.baselines import AlphaBetaCrownVerifier
+from repro.core import AbonnConfig, AbonnVerifier
+from repro.experiments import (
+    BenchmarkSuite,
+    SuiteConfig,
+    SuiteRunResult,
+    generate_suite,
+    run_suite,
+)
+from repro.nn.zoo import FAMILY_ORDER
+from repro.utils import Budget
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Paper column order of Table II.
+VERIFIER_ORDER = ("BaB-baseline", "alpha-beta-CROWN", "ABONN")
+
+
+def _families() -> tuple:
+    raw = os.environ.get("REPRO_BENCH_FAMILIES", "")
+    if not raw.strip():
+        return FAMILY_ORDER
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def instances_per_family() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTANCES", "8"))
+
+
+def node_budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_NODES", "250"))
+
+
+def seconds_budget() -> float:
+    return float(os.environ.get("REPRO_BENCH_SECONDS", "60"))
+
+
+def suite_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def per_instance_budget() -> Budget:
+    """The per-problem budget, analogous to the paper's 1000 s timeout."""
+    return Budget(max_nodes=node_budget(), max_seconds=seconds_budget())
+
+
+def timeout_charge_seconds() -> float:
+    """Seconds charged to unsolved instances in 'average time' columns."""
+    return seconds_budget()
+
+
+def verifier_factories() -> Dict[str, object]:
+    """The three verifiers of Table II, in the paper's column order."""
+    return {
+        "BaB-baseline": lambda: BaBBaselineVerifier(),
+        "alpha-beta-CROWN": lambda: AlphaBetaCrownVerifier(),
+        "ABONN": lambda: AbonnVerifier(AbonnConfig()),
+    }
+
+
+@lru_cache(maxsize=None)
+def get_suite() -> BenchmarkSuite:
+    """Generate (once) the benchmark suite used by every bench target."""
+    config = SuiteConfig(families=_families(),
+                         instances_per_family=instances_per_family(),
+                         seed=suite_seed())
+    return generate_suite(config)
+
+
+@lru_cache(maxsize=None)
+def get_run(verifier_name: str) -> SuiteRunResult:
+    """Run (once) one verifier over the whole suite."""
+    factory = verifier_factories()[verifier_name]
+    return run_suite(factory, get_suite(), per_instance_budget())
+
+
+def get_matrix() -> Dict[str, SuiteRunResult]:
+    """All three verifiers over the whole suite (cached per verifier)."""
+    return {name: get_run(name) for name in VERIFIER_ORDER}
+
+
+def save_output(name: str, text: str) -> Path:
+    """Print a rendered table/figure and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path

@@ -1,0 +1,17 @@
+"""Table I — details of the benchmarks (models, #neurons, #instances).
+
+Regenerates the paper's Table I for the synthetic-substrate suite: the five
+model families, their architectures and ReLU counts, and the number of
+verification instances generated per family.
+"""
+
+from bench_harness import get_suite, save_output
+from repro.experiments import render_table1
+
+
+def test_table1_benchmark_details(benchmark):
+    suite = benchmark.pedantic(get_suite, rounds=1, iterations=1)
+    text = render_table1(suite)
+    save_output("table1_benchmarks.txt", text)
+    assert len(suite) > 0
+    assert all(count > 0 for count in suite.counts().values())

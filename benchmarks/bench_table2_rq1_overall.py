@@ -1,0 +1,27 @@
+"""Table II (RQ1) — overall comparison of the three verifiers.
+
+Runs BaB-baseline, the αβ-CROWN-like baseline and ABONN over the whole
+benchmark suite with the same per-instance budget, and reports the number of
+solved instances and the average time per model family, exactly as the
+paper's Table II does.
+"""
+
+from bench_harness import (
+    get_matrix,
+    get_suite,
+    save_output,
+    timeout_charge_seconds,
+)
+from repro.experiments import render_table2, solved_count
+
+
+def test_table2_rq1_overall_comparison(benchmark):
+    suite = get_suite()
+    results = benchmark.pedantic(get_matrix, rounds=1, iterations=1)
+    text = render_table2(suite, results, timeout_seconds=timeout_charge_seconds())
+    save_output("table2_rq1_overall.txt", text)
+
+    # Sanity: every verifier ran every instance, and solved counts are sane.
+    for name, result in results.items():
+        assert len(result) == len(suite), name
+        assert 0 <= solved_count(result.runs) <= len(suite)

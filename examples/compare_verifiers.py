@@ -1,0 +1,51 @@
+"""Compare ABONN against the baselines on benchmark-suite instances.
+
+Run with::
+
+    python examples/compare_verifiers.py
+
+This mirrors the paper's RQ1 setting at a small scale: a handful of
+verification problems from one model family, solved by BaB-baseline, the
+αβ-CROWN-like baseline, ABONN and the exact MILP oracle.
+"""
+
+from repro import (
+    AbonnVerifier,
+    AlphaBetaCrownVerifier,
+    BaBBaselineVerifier,
+    Budget,
+    MilpVerifier,
+)
+from repro.experiments import SuiteConfig, generate_suite, render_table
+
+
+def main() -> None:
+    print("generating a small benchmark suite (one model family)...")
+    suite = generate_suite(SuiteConfig(families=("MNIST_L2",), instances_per_family=5,
+                                       seed=0))
+    budget = Budget(max_nodes=600, max_seconds=60)
+
+    verifiers = {
+        "BaB-baseline": BaBBaselineVerifier(),
+        "alpha-beta-CROWN": AlphaBetaCrownVerifier(),
+        "ABONN": AbonnVerifier(),
+        "MILP oracle": MilpVerifier(),
+    }
+
+    rows = []
+    for instance in suite.instances:
+        network = suite.network_for(instance)
+        row = [instance.instance_id, f"{instance.epsilon:.4f}"]
+        for verifier in verifiers.values():
+            result = verifier.verify(network, instance.spec, budget.copy())
+            row.append(f"{result.status.value[:9]}/{result.nodes_explored}n"
+                       f"/{result.elapsed_seconds:.2f}s")
+        rows.append(row)
+
+    headers = ["instance", "epsilon"] + [f"{name} (verdict/nodes/time)"
+                                         for name in verifiers]
+    print(render_table(headers, rows, title="Verifier comparison"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""A miniature version of the paper's RQ2 hyperparameter study (Fig. 5).
+
+Run with::
+
+    python examples/hyperparameter_study.py
+
+ABONN has two hyperparameters: λ (the weight of the depth attribute in the
+counterexample potentiality, Def. 1) and c (the UCB1 exploration constant).
+This example sweeps a small λ × c grid over a few benchmark instances and
+prints the three Fig. 5 panels: average speedup over BaB-baseline, average
+time, and the number of solved problems.
+"""
+
+from repro import AbonnConfig, AbonnVerifier, BaBBaselineVerifier, Budget
+from repro.experiments import (
+    SuiteConfig,
+    fig5_hyperparameter_grid,
+    generate_suite,
+    render_fig5,
+    run_suite,
+)
+
+
+def main() -> None:
+    suite = generate_suite(SuiteConfig(families=("MNIST_L4",), instances_per_family=4,
+                                       seed=0))
+    budget = Budget(max_nodes=400, max_seconds=30)
+
+    print(f"running BaB-baseline on {len(suite)} instances...")
+    baseline = run_suite(lambda: BaBBaselineVerifier(), suite, budget)
+
+    print("sweeping lambda x c...")
+    grid = fig5_hyperparameter_grid(
+        suite, baseline,
+        make_abonn=lambda lam, c: AbonnVerifier(AbonnConfig(lam=lam, exploration=c)),
+        budget=budget,
+        lambdas=(0.0, 0.5, 1.0),
+        explorations=(0.0, 0.2, 1.0),
+        timeout_seconds=30.0)
+
+    print()
+    print(render_fig5(grid))
+    best = grid.best_cell("average_speedup")
+    print(f"\nbest average speedup: lambda={best.lam:g}, c={best.exploration:g} "
+          f"({best.average_speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

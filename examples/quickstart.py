@@ -1,0 +1,53 @@
+"""Quickstart: verify local robustness of a small trained classifier with ABONN.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script trains a tiny classifier on the synthetic blob dataset, builds an
+L∞ local-robustness specification around one test image, and verifies it
+with ABONN.  It then enlarges the perturbation radius until the property is
+violated and prints the counterexample that ABONN finds.
+"""
+
+import numpy as np
+
+from repro import AbonnVerifier, Budget, local_robustness_spec
+from repro.datasets import make_blob_dataset
+from repro.nn import Dense, Flatten, Network, ReLU, TrainingConfig, accuracy, train_network
+
+
+def main() -> None:
+    # 1. Train a small classifier on the synthetic "MNIST-like" dataset.
+    dataset = make_blob_dataset(count=240, size=6, num_classes=3, seed=0)
+    network = Network(
+        [Flatten(), Dense(36, 16, seed=0), ReLU(), Dense(16, 12, seed=1), ReLU(),
+         Dense(12, dataset.num_classes, seed=2)],
+        dataset.image_shape, name="quickstart-classifier")
+    train_network(network, dataset.inputs, dataset.labels, TrainingConfig(epochs=20))
+    print(network.summary())
+    print(f"training accuracy: {accuracy(network, dataset.inputs, dataset.labels):.2%}\n")
+
+    # 2. Pick a correctly-classified reference image.
+    image, label = dataset.sample(0)
+    reference = image.reshape(-1)
+    assert int(network.predict(reference.reshape(1, -1))[0]) == label
+
+    # 3. Verify robustness for increasing perturbation radii.
+    verifier = AbonnVerifier()
+    for epsilon in (0.01, 0.05, 0.1, 0.2, 0.4):
+        spec = local_robustness_spec(reference, epsilon, label, dataset.num_classes,
+                                     name=f"robustness eps={epsilon}")
+        result = verifier.verify(network, spec, Budget(max_nodes=2000, max_seconds=30))
+        print(f"eps={epsilon:<5}: {result.summary()}")
+        if result.counterexample is not None:
+            adversarial_label = int(network.predict(
+                result.counterexample.reshape(1, -1))[0])
+            distance = float(np.max(np.abs(result.counterexample - reference)))
+            print(f"        counterexample: label {label} -> {adversarial_label}, "
+                  f"L-inf distance {distance:.4f}")
+            break
+
+
+if __name__ == "__main__":
+    main()

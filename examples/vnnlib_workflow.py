@@ -1,0 +1,46 @@
+"""Export a robustness problem to VNN-LIB, reload it, and verify it.
+
+Run with::
+
+    python examples/vnnlib_workflow.py
+
+VNN-COMP distributes verification problems as ``.vnnlib`` files.  This
+example shows the full interoperability loop supported by the library:
+build a property programmatically, write it to disk in VNN-LIB syntax, load
+it back, and verify the reloaded property with ABONN.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import AbonnVerifier, Budget, load_vnnlib, local_robustness_spec, save_vnnlib
+from repro.nn import build_trained_model
+
+
+def main() -> None:
+    network, dataset = build_trained_model("MNIST_L2", seed=0)
+    image, label = dataset.sample(3)
+    reference = image.reshape(-1)
+
+    spec = local_robustness_spec(reference, 0.03, label, dataset.num_classes,
+                                 name="exported-robustness-problem")
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "problem.vnnlib"
+        save_vnnlib(spec, path)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+        print("--- first lines of the property file ---")
+        print("\n".join(path.read_text().splitlines()[:6]))
+        print("...\n")
+
+        reloaded = load_vnnlib(path)
+        print(f"reloaded property: {reloaded.output_spec.num_constraints} output "
+              f"constraints over {reloaded.input_dim} inputs")
+
+        result = AbonnVerifier().verify(network, reloaded,
+                                        Budget(max_nodes=1000, max_seconds=30))
+        print(f"verification result: {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all project metadata; this file exists so that
+legacy (non-PEP-517) editable installs work in offline environments where
+the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Branch-and-bound substrate: tree nodes, branching heuristics, naive BaB."""
+
+from repro.bab.baseline import BaBBaselineVerifier
+from repro.bab.domain import BaBNode, BaBStatistics
+from repro.bab.heuristics import (
+    BaBSRHeuristic,
+    BranchingContext,
+    BranchingHeuristic,
+    DeepSplitHeuristic,
+    FSBHeuristic,
+    RandomHeuristic,
+    WidestHeuristic,
+    available_heuristics,
+    make_heuristic,
+    output_sensitivities,
+)
+
+__all__ = [
+    "BaBBaselineVerifier",
+    "BaBNode",
+    "BaBStatistics",
+    "BaBSRHeuristic",
+    "BranchingContext",
+    "BranchingHeuristic",
+    "DeepSplitHeuristic",
+    "FSBHeuristic",
+    "RandomHeuristic",
+    "WidestHeuristic",
+    "available_heuristics",
+    "make_heuristic",
+    "output_sensitivities",
+]

@@ -1,0 +1,170 @@
+"""The naive BaB verifier the paper uses as ``BaB-baseline``.
+
+It explores the sub-problem space breadth-first ("first come, first served",
+§IV): whenever a sub-problem's bound raises a false alarm, both children are
+created, bounded, and appended to a FIFO queue.  A depth-first variant is
+also provided because it is a useful ablation point.
+
+Completeness: when a sub-problem has no unstable neuron left but its bound
+is still negative (an artefact of the linear relaxation not feeding the
+split constraints back into the input region), the sub-problem is resolved
+exactly with the leaf LP of :mod:`repro.verifiers.milp` — the same role the
+paper's GUROBI back-end plays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.bab.domain import BaBNode, BaBStatistics
+from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
+from repro.bounds.alpha_crown import AlphaCrownConfig
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.nn.network import Network
+from repro.specs.properties import Specification
+from repro.utils.timing import Budget
+from repro.utils.validation import require
+from repro.verifiers.appver import ApproximateVerifier
+from repro.verifiers.milp import solve_leaf_lp
+from repro.verifiers.result import (
+    VerificationResult,
+    VerificationStatus,
+    Verifier,
+    make_budget,
+)
+
+
+class BaBBaselineVerifier(Verifier):
+    """Breadth-first (or depth-first) branch-and-bound verification."""
+
+    name = "BaB-baseline"
+
+    def __init__(self, heuristic: str = "deepsplit", bound_method: str = "deeppoly",
+                 exploration: str = "bfs", lp_leaf_refinement: bool = True,
+                 alpha_config: Optional[AlphaCrownConfig] = None) -> None:
+        require(exploration in ("bfs", "dfs"),
+                f"exploration must be 'bfs' or 'dfs', got {exploration!r}")
+        self.heuristic_name = heuristic
+        self.bound_method = bound_method
+        self.exploration = exploration
+        self.lp_leaf_refinement = lp_leaf_refinement
+        self.alpha_config = alpha_config
+        if exploration == "dfs":
+            self.name = "BaB-dfs"
+
+    def _make_heuristic(self) -> BranchingHeuristic:
+        return make_heuristic(self.heuristic_name)
+
+    def verify(self, network: Network, spec: Specification,
+               budget: Optional[Budget] = None) -> VerificationResult:
+        budget = make_budget(budget)
+        appver = ApproximateVerifier(network, spec, self.bound_method,
+                                     alpha_config=self.alpha_config)
+        heuristic = self._make_heuristic()
+        statistics = BaBStatistics()
+
+        root_outcome = appver.evaluate()
+        budget.charge_node()
+        if root_outcome.verified or root_outcome.report.infeasible:
+            return self._finish(VerificationStatus.VERIFIED, budget, appver, statistics,
+                                bound=root_outcome.p_hat)
+        if root_outcome.falsified:
+            return self._finish(VerificationStatus.FALSIFIED, budget, appver, statistics,
+                                counterexample=root_outcome.candidate,
+                                bound=root_outcome.p_hat)
+
+        root = BaBNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
+        queue: Deque[BaBNode] = deque([root])
+        has_unknown_leaf = False
+
+        while queue:
+            if budget.exhausted():
+                return self._finish(VerificationStatus.TIMEOUT, budget, appver, statistics,
+                                    bound=root_outcome.p_hat)
+            node = queue.popleft() if self.exploration == "bfs" else queue.pop()
+            statistics.nodes_expanded += 1
+            statistics.record_depth(node.depth)
+
+            context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
+                                       report=node.outcome.report, splits=node.splits,
+                                       evaluate_split=self._make_probe(appver, budget))
+            neuron = heuristic.select(context)
+            if neuron is None:
+                budget.charge_node()  # the leaf LP costs about one bound computation
+                resolved, counterexample = self._resolve_leaf(appver, spec, node, statistics)
+                if counterexample is not None:
+                    return self._finish(VerificationStatus.FALSIFIED, budget, appver,
+                                        statistics, counterexample=counterexample)
+                if not resolved:
+                    has_unknown_leaf = True
+                continue
+
+            node.branch_neuron = neuron
+            statistics.nodes_split += 1
+            for phase in (ACTIVE, INACTIVE):
+                if budget.exhausted():
+                    return self._finish(VerificationStatus.TIMEOUT, budget, appver,
+                                        statistics, bound=root_outcome.p_hat)
+                child_splits = node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
+                outcome = appver.evaluate(child_splits)
+                budget.charge_node()
+                child = BaBNode(child_splits, depth=node.depth + 1, outcome=outcome,
+                                parent=node)
+                node.children.append(child)
+                if outcome.falsified:
+                    return self._finish(VerificationStatus.FALSIFIED, budget, appver,
+                                        statistics, counterexample=outcome.candidate,
+                                        bound=outcome.p_hat)
+                if outcome.verified or outcome.report.infeasible:
+                    statistics.nodes_verified += 1
+                    continue
+                queue.append(child)
+
+        status = (VerificationStatus.UNKNOWN if has_unknown_leaf
+                  else VerificationStatus.VERIFIED)
+        return self._finish(status, budget, appver, statistics)
+
+    # -- helpers --------------------------------------------------------------
+    @staticmethod
+    def _make_probe(appver: ApproximateVerifier, budget: Budget):
+        def probe(splits: SplitAssignment) -> float:
+            budget.charge_node()
+            return appver.evaluate(splits).p_hat
+        return probe
+
+    def _resolve_leaf(self, appver: ApproximateVerifier, spec: Specification,
+                      node: BaBNode, statistics: BaBStatistics):
+        """Resolve a fully phase-decided leaf; returns (resolved, counterexample)."""
+        if not self.lp_leaf_refinement:
+            return False, None
+        optimum = solve_leaf_lp(appver.lowered, spec.input_box, spec.output_spec,
+                                node.splits, node.outcome.report)
+        statistics.leaves_lp_resolved += 1
+        if not optimum.feasible or optimum.value >= 0.0:
+            statistics.nodes_verified += 1
+            return True, None
+        if optimum.minimizer is None:  # pragma: no cover - solver failure
+            return False, None
+        point = spec.input_box.clip(optimum.minimizer)
+        if spec.is_counterexample(appver.network, point):
+            return True, point
+        return False, None
+
+    def _finish(self, status: VerificationStatus, budget: Budget,
+                appver: ApproximateVerifier, statistics: BaBStatistics,
+                counterexample: Optional[np.ndarray] = None,
+                bound: Optional[float] = None) -> VerificationResult:
+        statistics.tree_size = appver.num_calls
+        return VerificationResult(
+            status=status,
+            verifier=self.name,
+            elapsed_seconds=budget.elapsed_seconds,
+            nodes_explored=appver.num_calls,
+            tree_size=appver.num_calls,
+            counterexample=counterexample,
+            bound=bound,
+            extras=statistics.as_dict(),
+        )

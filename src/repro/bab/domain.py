@@ -1,0 +1,88 @@
+"""BaB tree nodes (sub-problems) shared by the baseline BaB verifier.
+
+Each node corresponds to a sub-problem Γ of the original verification
+problem: the conjunction of the original input box with a sequence of ReLU
+phase constraints.  The node stores the AppVer outcome obtained when it was
+created, which is all that later exploration decisions need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bounds.splits import ReluSplit, SplitAssignment
+from repro.verifiers.appver import AppVerOutcome
+
+
+@dataclass
+class BaBNode:
+    """One sub-problem in the BaB tree."""
+
+    splits: SplitAssignment
+    depth: int
+    outcome: AppVerOutcome
+    parent: Optional["BaBNode"] = None
+    #: The ReLU neuron this node's children were split on (set at expansion).
+    branch_neuron: Optional[Tuple[int, int]] = None
+    children: List["BaBNode"] = field(default_factory=list)
+
+    @property
+    def p_hat(self) -> float:
+        return self.outcome.p_hat
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def verified(self) -> bool:
+        return self.outcome.verified or self.outcome.report.infeasible
+
+    @property
+    def falsified(self) -> bool:
+        return self.outcome.falsified
+
+    def child_splits(self, split: ReluSplit) -> SplitAssignment:
+        """The split assignment of the child produced by ``split``."""
+        return self.splits.with_split(split)
+
+    def path_from_root(self) -> List["BaBNode"]:
+        """Nodes from the root down to (and including) this node."""
+        path: List[BaBNode] = []
+        node: Optional[BaBNode] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return list(reversed(path))
+
+    def __repr__(self) -> str:
+        return (f"BaBNode(depth={self.depth}, p_hat={self.p_hat:.4f}, "
+                f"splits={len(self.splits)})")
+
+
+@dataclass
+class BaBStatistics:
+    """Aggregate statistics of one BaB run (used by figures and tests)."""
+
+    nodes_expanded: int = 0
+    nodes_verified: int = 0
+    nodes_split: int = 0
+    leaves_lp_resolved: int = 0
+    max_depth: int = 0
+    tree_size: int = 1
+
+    def record_depth(self, depth: int) -> None:
+        self.max_depth = max(self.max_depth, depth)
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "nodes_verified": self.nodes_verified,
+            "nodes_split": self.nodes_split,
+            "leaves_lp_resolved": self.leaves_lp_resolved,
+            "max_depth": self.max_depth,
+            "tree_size": self.tree_size,
+        }

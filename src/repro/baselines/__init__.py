@@ -1,0 +1,5 @@
+"""Baseline verifiers the paper compares ABONN against."""
+
+from repro.baselines.alphabeta_crown import AlphaBetaCrownVerifier
+
+__all__ = ["AlphaBetaCrownVerifier"]

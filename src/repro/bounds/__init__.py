@@ -1,0 +1,34 @@
+"""Approximated-verifier substrate: IBP, DeepPoly/CROWN and α-CROWN bounds."""
+
+from repro.bounds.alpha_crown import AlphaCrownAnalyzer, AlphaCrownConfig, alpha_crown_bounds
+from repro.bounds.deeppoly import DeepPolyAnalyzer, deeppoly_bounds, default_lower_slope
+from repro.bounds.interval import interval_bounds
+from repro.bounds.linear_form import (
+    LinearForm,
+    ScalarBounds,
+    concretize_lower,
+    concretize_upper,
+    minimizing_corner,
+)
+from repro.bounds.report import BoundReport
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+
+__all__ = [
+    "AlphaCrownAnalyzer",
+    "AlphaCrownConfig",
+    "alpha_crown_bounds",
+    "DeepPolyAnalyzer",
+    "deeppoly_bounds",
+    "default_lower_slope",
+    "interval_bounds",
+    "LinearForm",
+    "ScalarBounds",
+    "concretize_lower",
+    "concretize_upper",
+    "minimizing_corner",
+    "BoundReport",
+    "ACTIVE",
+    "INACTIVE",
+    "ReluSplit",
+    "SplitAssignment",
+]

@@ -1,0 +1,117 @@
+"""α-CROWN: DeepPoly/CROWN bounds with optimised unstable lower slopes.
+
+CROWN's lower-bound quality depends on the slope chosen for the lower
+relaxation of every unstable ReLU.  α-CROWN (Xu et al., adopted by the
+αβ-CROWN tool the paper compares against) treats those slopes as free
+parameters in ``[0, 1]`` and optimises them to maximise the specification
+lower bound ``p̂``.
+
+The original implementation differentiates through the bound computation
+with PyTorch autograd.  This numpy reproduction instead uses SPSA
+(simultaneous-perturbation stochastic approximation): each iteration
+estimates the gradient of ``p̂`` with two bound evaluations under a random
+±δ perturbation of all slopes, then takes a projected ascent step.  On the
+laptop-scale networks used here a handful of iterations recovers most of the
+gap between DeepPoly and the fully optimised bound, which is what matters
+for the baseline comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bounds.deeppoly import DeepPolyAnalyzer, default_lower_slope
+from repro.bounds.report import BoundReport
+from repro.bounds.splits import SplitAssignment
+from repro.nn.network import LoweredNetwork
+from repro.specs.properties import InputBox, LinearOutputSpec
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class AlphaCrownConfig:
+    """Hyperparameters of the SPSA slope optimisation."""
+
+    iterations: int = 8
+    step_size: float = 0.25
+    perturbation: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.iterations >= 0, "iterations must be non-negative")
+        require(self.step_size > 0, "step_size must be positive")
+        require(0 < self.perturbation <= 0.5, "perturbation must be in (0, 0.5]")
+
+
+class AlphaCrownAnalyzer:
+    """CROWN analyser with SPSA-optimised lower slopes."""
+
+    def __init__(self, network: LoweredNetwork,
+                 config: Optional[AlphaCrownConfig] = None) -> None:
+        self.network = network
+        self.config = config or AlphaCrownConfig()
+        self._inner = DeepPolyAnalyzer(network)
+
+    def _initial_slopes(self, box: InputBox,
+                        splits: Optional[SplitAssignment]) -> List[np.ndarray]:
+        """Start from the DeepPoly heuristic slopes of a plain analysis."""
+        report = self._inner.analyze(box, splits=splits)
+        slopes = []
+        for bounds in report.pre_activation_bounds:
+            slopes.append(default_lower_slope(bounds.lower, bounds.upper))
+        return slopes
+
+    def _objective(self, box: InputBox, splits: Optional[SplitAssignment],
+                   spec: LinearOutputSpec, slopes: Sequence[np.ndarray]) -> float:
+        report = self._inner.analyze(box, splits=splits, spec=spec, lower_slopes=slopes)
+        return float("-inf") if report.p_hat is None else float(report.p_hat)
+
+    def analyze(self, box: InputBox, splits: Optional[SplitAssignment] = None,
+                spec: Optional[LinearOutputSpec] = None,
+                rng: SeedLike = None) -> BoundReport:
+        """Return bounds with optimised slopes (falls back to DeepPoly without a spec)."""
+        if spec is None or self.config.iterations == 0:
+            report = self._inner.analyze(box, splits=splits, spec=spec)
+            report.method = "alpha-crown"
+            return report
+
+        rng = as_rng(self.config.seed if rng is None else rng)
+        slopes = self._initial_slopes(box, splits)
+        best_slopes = [s.copy() for s in slopes]
+        best_value = self._objective(box, splits, spec, slopes)
+
+        for iteration in range(self.config.iterations):
+            directions = [rng.choice([-1.0, 1.0], size=s.shape) for s in slopes]
+            delta = self.config.perturbation
+            plus = [np.clip(s + delta * d, 0.0, 1.0) for s, d in zip(slopes, directions)]
+            minus = [np.clip(s - delta * d, 0.0, 1.0) for s, d in zip(slopes, directions)]
+            value_plus = self._objective(box, splits, spec, plus)
+            value_minus = self._objective(box, splits, spec, minus)
+            gradient_scale = (value_plus - value_minus) / (2.0 * delta)
+            step = self.config.step_size / np.sqrt(iteration + 1.0)
+            slopes = [np.clip(s + step * gradient_scale * d, 0.0, 1.0)
+                      for s, d in zip(slopes, directions)]
+            value = self._objective(box, splits, spec, slopes)
+            for candidate_value, candidate_slopes in ((value_plus, plus),
+                                                      (value_minus, minus),
+                                                      (value, slopes)):
+                if candidate_value > best_value:
+                    best_value = candidate_value
+                    best_slopes = [s.copy() for s in candidate_slopes]
+
+        report = self._inner.analyze(box, splits=splits, spec=spec,
+                                     lower_slopes=best_slopes)
+        report.method = "alpha-crown"
+        return report
+
+
+def alpha_crown_bounds(network: LoweredNetwork, box: InputBox,
+                       splits: Optional[SplitAssignment] = None,
+                       spec: Optional[LinearOutputSpec] = None,
+                       config: Optional[AlphaCrownConfig] = None) -> BoundReport:
+    """Convenience wrapper around :class:`AlphaCrownAnalyzer`."""
+    return AlphaCrownAnalyzer(network, config).analyze(box, splits=splits, spec=spec)

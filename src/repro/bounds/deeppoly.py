@@ -1,0 +1,232 @@
+"""DeepPoly / CROWN backward bound propagation with ReLU split constraints.
+
+This is the library's main approximated verifier (the ``AppVer`` of the
+paper).  For every hidden layer it derives sound lower/upper bounds on the
+pre-activations by substituting linear ReLU relaxations backwards down to
+the input box, then bounds the output specification the same way.  The
+minimum specification-row lower bound is the paper's ``p̂``; the box corner
+minimising that row's input-level linear form is the candidate
+counterexample ``x̂``.
+
+Split constraints (``r+`` / ``r-`` decisions of a BaB sub-problem) tighten
+the analysis in two ways:
+
+* the decided neuron's relaxation becomes exact (identity or zero);
+* its pre-activation bounds are intersected with ``[0, ∞)`` / ``(-∞, 0]``.
+
+If an intersection becomes empty the sub-problem region is empty and the
+report is flagged ``infeasible`` (vacuously verified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bounds.linear_form import (
+    LinearForm,
+    ScalarBounds,
+    concretize_lower,
+    concretize_upper,
+    minimizing_corner,
+)
+from repro.bounds.report import BoundReport
+from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
+from repro.nn.network import LoweredNetwork
+from repro.specs.properties import InputBox, LinearOutputSpec
+from repro.utils.validation import require
+
+
+@dataclass
+class _ReluRelaxation:
+    """Per-neuron linear relaxation of one hidden ReLU layer.
+
+    ``lower_slope * z <= ReLU(z) <= upper_slope * z + upper_intercept``
+    holds for every ``z`` within the layer's (split-clipped) bounds.
+    """
+
+    lower_slope: np.ndarray
+    upper_slope: np.ndarray
+    upper_intercept: np.ndarray
+
+
+def default_lower_slope(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """DeepPoly's area-minimising choice of the unstable lower slope."""
+    return (upper > -lower).astype(float)
+
+
+def _build_relaxation(bounds: ScalarBounds, layer: int, splits: SplitAssignment,
+                      lower_slopes: Optional[np.ndarray]) -> _ReluRelaxation:
+    size = bounds.size
+    lower = bounds.lower
+    upper = bounds.upper
+    lower_slope = np.zeros(size)
+    upper_slope = np.zeros(size)
+    upper_intercept = np.zeros(size)
+
+    decided = splits.layer_phases(layer, size)
+    if lower_slopes is None:
+        unstable_lower_slope = default_lower_slope(lower, upper)
+    else:
+        unstable_lower_slope = np.clip(np.asarray(lower_slopes, dtype=float), 0.0, 1.0)
+        require(unstable_lower_slope.shape == (size,),
+                f"lower_slopes for layer {layer} must have shape {(size,)}")
+
+    for unit in range(size):
+        phase = decided.get(unit, 0)
+        l, u = lower[unit], upper[unit]
+        if phase == ACTIVE or l >= 0.0:
+            lower_slope[unit] = 1.0
+            upper_slope[unit] = 1.0
+        elif phase == INACTIVE or u <= 0.0:
+            lower_slope[unit] = 0.0
+            upper_slope[unit] = 0.0
+        else:
+            # Unstable neuron: triangle relaxation.
+            slope = u / (u - l)
+            upper_slope[unit] = slope
+            upper_intercept[unit] = -slope * l
+            lower_slope[unit] = unstable_lower_slope[unit]
+    return _ReluRelaxation(lower_slope, upper_slope, upper_intercept)
+
+
+class DeepPolyAnalyzer:
+    """Backward-substitution bound analyser for a lowered network."""
+
+    def __init__(self, network: LoweredNetwork) -> None:
+        self.network = network
+
+    # -- backward substitution ------------------------------------------------
+    def _substitute_to_input(self, coefficients: np.ndarray, constants: np.ndarray,
+                             last_hidden: int, relaxations: Sequence[_ReluRelaxation],
+                             minimize: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Rewrite ``A @ h_last_hidden + c`` as a linear form over the input.
+
+        ``last_hidden = -1`` means the expression is already over the input.
+        When ``minimize`` is True the rewriting under-approximates the
+        expression (suitable for lower bounds); otherwise it over-approximates.
+        """
+        A = np.asarray(coefficients, dtype=float)
+        c = np.asarray(constants, dtype=float).copy()
+        for layer in range(last_hidden, -1, -1):
+            relax = relaxations[layer]
+            positive = np.clip(A, 0.0, None)
+            negative = np.clip(A, None, 0.0)
+            if minimize:
+                # h >= lower_slope * z and h <= upper_slope * z + upper_intercept
+                new_A = positive * relax.lower_slope + negative * relax.upper_slope
+                c = c + negative @ relax.upper_intercept
+            else:
+                new_A = positive * relax.upper_slope + negative * relax.lower_slope
+                c = c + positive @ relax.upper_intercept
+            A = new_A
+            # Substitute z = W h_{layer-1} + b.
+            weight = self.network.weights[layer]
+            bias = self.network.biases[layer]
+            c = c + A @ bias
+            A = A @ weight
+        return A, c
+
+    def _bound_expression(self, coefficients: np.ndarray, constants: np.ndarray,
+                          last_hidden: int, relaxations: Sequence[_ReluRelaxation],
+                          box: InputBox) -> Tuple[ScalarBounds, LinearForm]:
+        """Scalar bounds of ``A @ h_last_hidden + c`` over the box.
+
+        Also returns the input-level linear form used for the *lower* bound,
+        whose minimising corner is the counterexample candidate.
+        """
+        lower_A, lower_c = self._substitute_to_input(coefficients, constants,
+                                                     last_hidden, relaxations, minimize=True)
+        upper_A, upper_c = self._substitute_to_input(coefficients, constants,
+                                                     last_hidden, relaxations, minimize=False)
+        lower = concretize_lower(lower_A, lower_c, box)
+        upper = concretize_upper(upper_A, upper_c, box)
+        return ScalarBounds(lower, upper), LinearForm(lower_A, lower_c)
+
+    # -- public API -------------------------------------------------------------
+    def analyze(self, box: InputBox, splits: Optional[SplitAssignment] = None,
+                spec: Optional[LinearOutputSpec] = None,
+                lower_slopes: Optional[Sequence[np.ndarray]] = None) -> BoundReport:
+        """Run the full analysis over ``box`` under ``splits``.
+
+        Parameters
+        ----------
+        lower_slopes:
+            Optional per-hidden-layer arrays of unstable lower-relaxation
+            slopes in ``[0, 1]`` (used by the α-CROWN optimiser); ``None``
+            selects DeepPoly's default slope heuristic.
+        """
+        network = self.network
+        require(box.dimension == network.input_dim,
+                "input box dimension does not match the network")
+        splits = splits or SplitAssignment.empty()
+        if lower_slopes is not None:
+            require(len(lower_slopes) == network.num_relu_layers,
+                    "lower_slopes must provide one array per hidden layer")
+
+        relaxations: List[_ReluRelaxation] = []
+        pre_activation_bounds: List[ScalarBounds] = []
+        infeasible = False
+
+        for layer in range(network.num_relu_layers):
+            weight = network.weights[layer]
+            bias = network.biases[layer]
+            bounds, _ = self._bound_expression(weight, bias, layer - 1, relaxations, box)
+            bounds = self._clip_with_splits(bounds, layer, splits)
+            if not bounds.is_consistent():
+                infeasible = True
+                bounds = ScalarBounds(np.minimum(bounds.lower, bounds.upper),
+                                      np.maximum(bounds.lower, bounds.upper))
+            pre_activation_bounds.append(bounds)
+            layer_slopes = None if lower_slopes is None else lower_slopes[layer]
+            relaxations.append(_build_relaxation(bounds, layer, splits, layer_slopes))
+
+        last_hidden = network.num_relu_layers - 1
+        output_bounds, _ = self._bound_expression(network.weights[-1], network.biases[-1],
+                                                  last_hidden, relaxations, box)
+
+        spec_row_lower = None
+        p_hat = None
+        candidate = None
+        if spec is not None:
+            require(spec.output_dim == network.output_dim,
+                    "specification output dimension does not match the network")
+            coefficients = spec.coefficients @ network.weights[-1]
+            constants = spec.coefficients @ network.biases[-1] + spec.offsets
+            spec_bounds, lower_form = self._bound_expression(coefficients, constants,
+                                                             last_hidden, relaxations, box)
+            spec_row_lower = spec_bounds.lower
+            worst_row = int(np.argmin(spec_row_lower))
+            candidate = lower_form.minimizer(box, worst_row)
+            p_hat = float("inf") if infeasible else float(spec_row_lower[worst_row])
+
+        return BoundReport(pre_activation_bounds=pre_activation_bounds,
+                           output_bounds=output_bounds,
+                           spec_row_lower=spec_row_lower,
+                           p_hat=p_hat,
+                           candidate_input=candidate,
+                           infeasible=infeasible,
+                           method="deeppoly")
+
+    @staticmethod
+    def _clip_with_splits(bounds: ScalarBounds, layer: int,
+                          splits: SplitAssignment) -> ScalarBounds:
+        lower = bounds.lower.copy()
+        upper = bounds.upper.copy()
+        for unit, phase in splits.layer_phases(layer, bounds.size).items():
+            if phase == ACTIVE:
+                lower[unit] = max(lower[unit], 0.0)
+            elif phase == INACTIVE:
+                upper[unit] = min(upper[unit], 0.0)
+        return ScalarBounds(lower, upper)
+
+
+def deeppoly_bounds(network: LoweredNetwork, box: InputBox,
+                    splits: Optional[SplitAssignment] = None,
+                    spec: Optional[LinearOutputSpec] = None,
+                    lower_slopes: Optional[Sequence[np.ndarray]] = None) -> BoundReport:
+    """Convenience wrapper around :class:`DeepPolyAnalyzer`."""
+    return DeepPolyAnalyzer(network).analyze(box, splits=splits, spec=spec,
+                                             lower_slopes=lower_slopes)

@@ -1,0 +1,137 @@
+"""Symbolic linear forms over the network input and their concretisation.
+
+The DeepPoly/CROWN backward substitution expresses bounds on network
+quantities as affine functions of the (flattened) input,
+
+``f(x) = A @ x + c``.
+
+Concretising such a form over an axis-aligned input box gives scalar bounds;
+the minimising / maximising *corner* of the box is also the candidate
+counterexample ``x̂`` that AppVer reports alongside a negative ``p̂``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.specs.properties import InputBox
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """A batch of affine functions of the input: ``A @ x + c`` (row per function)."""
+
+    coefficients: np.ndarray
+    constants: np.ndarray
+
+    def __post_init__(self) -> None:
+        coefficients = np.asarray(self.coefficients, dtype=float)
+        constants = np.asarray(self.constants, dtype=float).reshape(-1)
+        require(coefficients.ndim == 2, "coefficients must be a matrix")
+        require(coefficients.shape[0] == constants.shape[0],
+                "coefficients and constants must agree on the number of rows")
+        object.__setattr__(self, "coefficients", coefficients)
+        object.__setattr__(self, "constants", constants)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def input_dim(self) -> int:
+        return int(self.coefficients.shape[1])
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate every row at a single input ``x``."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        require(x.shape[0] == self.input_dim, "input has wrong dimension")
+        return self.coefficients @ x + self.constants
+
+    def lower_bound(self, box: InputBox) -> np.ndarray:
+        """Per-row minimum over the box."""
+        return concretize_lower(self.coefficients, self.constants, box)
+
+    def upper_bound(self, box: InputBox) -> np.ndarray:
+        """Per-row maximum over the box."""
+        return concretize_upper(self.coefficients, self.constants, box)
+
+    def minimizer(self, box: InputBox, row: int) -> np.ndarray:
+        """The box corner minimising the given row."""
+        require(0 <= row < self.num_rows, f"row {row} out of range")
+        return minimizing_corner(self.coefficients[row], box)
+
+    def maximizer(self, box: InputBox, row: int) -> np.ndarray:
+        """The box corner maximising the given row."""
+        require(0 <= row < self.num_rows, f"row {row} out of range")
+        return minimizing_corner(-self.coefficients[row], box)
+
+
+def concretize_lower(coefficients: np.ndarray, constants: np.ndarray,
+                     box: InputBox) -> np.ndarray:
+    """Minimum of ``A @ x + c`` over the box, per row."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    constants = np.asarray(constants, dtype=float)
+    positive = np.clip(coefficients, 0.0, None)
+    negative = np.clip(coefficients, None, 0.0)
+    return positive @ box.lower + negative @ box.upper + constants
+
+
+def concretize_upper(coefficients: np.ndarray, constants: np.ndarray,
+                     box: InputBox) -> np.ndarray:
+    """Maximum of ``A @ x + c`` over the box, per row."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    constants = np.asarray(constants, dtype=float)
+    positive = np.clip(coefficients, 0.0, None)
+    negative = np.clip(coefficients, None, 0.0)
+    return positive @ box.upper + negative @ box.lower + constants
+
+
+def minimizing_corner(coefficients: np.ndarray, box: InputBox) -> np.ndarray:
+    """The box corner minimising ``coefficients @ x`` (lower where coeff > 0)."""
+    coefficients = np.asarray(coefficients, dtype=float).reshape(-1)
+    require(coefficients.shape[0] == box.dimension, "coefficient vector has wrong dimension")
+    return np.where(coefficients > 0, box.lower, box.upper)
+
+
+@dataclass(frozen=True)
+class ScalarBounds:
+    """Elementwise scalar lower/upper bounds on a vector-valued quantity."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=float).reshape(-1)
+        upper = np.asarray(self.upper, dtype=float).reshape(-1)
+        require(lower.shape == upper.shape, "lower and upper must have the same shape")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def size(self) -> int:
+        return int(self.lower.shape[0])
+
+    @property
+    def width(self) -> np.ndarray:
+        return self.upper - self.lower
+
+    def is_consistent(self) -> bool:
+        """True when every lower bound is at most its upper bound."""
+        return bool(np.all(self.lower <= self.upper + 1e-12))
+
+    def intersect(self, other: "ScalarBounds") -> "ScalarBounds":
+        """Elementwise intersection (may produce inconsistent bounds)."""
+        require(self.size == other.size, "bounds have different sizes")
+        return ScalarBounds(np.maximum(self.lower, other.lower),
+                            np.minimum(self.upper, other.upper))
+
+    def contains(self, values: np.ndarray, tolerance: float = 1e-7) -> bool:
+        """Whether a concrete vector lies within the bounds."""
+        values = np.asarray(values, dtype=float).reshape(-1)
+        require(values.shape[0] == self.size, "value vector has wrong size")
+        return bool(np.all(values >= self.lower - tolerance)
+                    and np.all(values <= self.upper + tolerance))

@@ -1,0 +1,73 @@
+"""Common result type returned by all bound-propagation analysers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bounds.linear_form import ScalarBounds
+from repro.bounds.splits import SplitAssignment
+
+
+@dataclass
+class BoundReport:
+    """The outcome of one bound computation (one AppVer call).
+
+    Attributes
+    ----------
+    pre_activation_bounds:
+        Per hidden layer, scalar bounds on the pre-activation vector
+        (after intersecting with the sub-problem's split constraints).
+    output_bounds:
+        Scalar bounds on the network output (logits).
+    spec_row_lower:
+        Lower bound of each output-spec constraint row over the sub-problem,
+        or ``None`` when no specification was supplied.
+    p_hat:
+        The paper's ``p̂``: the minimum of ``spec_row_lower`` (a sound lower
+        bound of the specification margin over the sub-problem).
+    candidate_input:
+        A concrete input in the box that the analyser believes is closest to
+        violating the property (the counterexample candidate ``x̂``).
+    infeasible:
+        True when the split constraints are unsatisfiable within the input
+        box — the sub-problem is vacuously verified.
+    """
+
+    pre_activation_bounds: List[ScalarBounds]
+    output_bounds: ScalarBounds
+    spec_row_lower: Optional[np.ndarray] = None
+    p_hat: Optional[float] = None
+    candidate_input: Optional[np.ndarray] = None
+    infeasible: bool = False
+    method: str = "unknown"
+
+    def unstable_neurons(self, splits: Optional[SplitAssignment] = None,
+                         tolerance: float = 0.0) -> List[Tuple[int, int]]:
+        """Neurons whose phase is still ambiguous in this sub-problem.
+
+        A neuron is unstable when its pre-activation bounds straddle zero and
+        its phase has not been fixed by a split.
+        """
+        splits = splits or SplitAssignment.empty()
+        unstable: List[Tuple[int, int]] = []
+        for layer, bounds in enumerate(self.pre_activation_bounds):
+            for unit in range(bounds.size):
+                if splits.is_decided(layer, unit):
+                    continue
+                if bounds.lower[unit] < -tolerance and bounds.upper[unit] > tolerance:
+                    unstable.append((layer, unit))
+        return unstable
+
+    @property
+    def num_unstable(self) -> int:
+        return len(self.unstable_neurons())
+
+    @property
+    def verified(self) -> bool:
+        """True when the bound alone proves the property on this sub-problem."""
+        if self.infeasible:
+            return True
+        return self.p_hat is not None and self.p_hat > 0.0

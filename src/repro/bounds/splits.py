@@ -1,0 +1,136 @@
+"""ReLU phase-split constraints shared by bound propagation and BaB.
+
+A BaB sub-problem Γ (§III of the paper) is identified by a sequence of ReLU
+input constraints: each split fixes one ReLU neuron to be *active*
+(``r+``: pre-activation >= 0) or *inactive* (``r-``: pre-activation <= 0).
+The bound-propagation verifiers consume these constraints as a
+:class:`SplitAssignment`, which records the decided phase of each neuron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.utils.validation import require
+
+#: Phase constants: pre-activation forced non-negative / non-positive.
+ACTIVE = 1
+INACTIVE = -1
+
+
+@dataclass(frozen=True)
+class ReluSplit:
+    """A single ReLU phase decision ``r+_(layer, unit)`` or ``r-_(layer, unit)``."""
+
+    layer: int
+    unit: int
+    phase: int
+
+    def __post_init__(self) -> None:
+        require(self.layer >= 0, "layer must be non-negative")
+        require(self.unit >= 0, "unit must be non-negative")
+        require(self.phase in (ACTIVE, INACTIVE), "phase must be ACTIVE (+1) or INACTIVE (-1)")
+
+    @property
+    def neuron(self) -> Tuple[int, int]:
+        return (self.layer, self.unit)
+
+    def negated(self) -> "ReluSplit":
+        """The opposite phase decision for the same neuron."""
+        return ReluSplit(self.layer, self.unit, -self.phase)
+
+    def __str__(self) -> str:
+        sign = "+" if self.phase == ACTIVE else "-"
+        return f"r{sign}({self.layer},{self.unit})"
+
+
+class SplitAssignment:
+    """An immutable mapping from ReLU neurons to decided phases.
+
+    The assignment corresponds to the constraint sequence Γ of a BaB node;
+    extending it with one more :class:`ReluSplit` yields a child node's
+    assignment.
+    """
+
+    def __init__(self, splits: Optional[Mapping[Tuple[int, int], int]] = None) -> None:
+        self._phases: Dict[Tuple[int, int], int] = dict(splits or {})
+        for neuron, phase in self._phases.items():
+            require(phase in (ACTIVE, INACTIVE),
+                    f"phase for neuron {neuron} must be +1 or -1")
+
+    @classmethod
+    def empty(cls) -> "SplitAssignment":
+        return cls()
+
+    @classmethod
+    def from_splits(cls, splits: Iterable[ReluSplit]) -> "SplitAssignment":
+        assignment = cls()
+        for split in splits:
+            assignment = assignment.with_split(split)
+        return assignment
+
+    def with_split(self, split: ReluSplit) -> "SplitAssignment":
+        """Return a new assignment extended by ``split``.
+
+        Re-splitting an already-decided neuron with a conflicting phase is a
+        programming error in the BaB driver and raises ``ValueError``.
+        """
+        existing = self._phases.get(split.neuron)
+        if existing is not None and existing != split.phase:
+            raise ValueError(f"conflicting split for neuron {split.neuron}")
+        phases = dict(self._phases)
+        phases[split.neuron] = split.phase
+        return SplitAssignment(phases)
+
+    def phase_of(self, layer: int, unit: int) -> int:
+        """Return the decided phase of a neuron, or 0 when undecided."""
+        return self._phases.get((layer, unit), 0)
+
+    def is_decided(self, layer: int, unit: int) -> bool:
+        return (layer, unit) in self._phases
+
+    def decided_neurons(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted(self._phases))
+
+    def layer_phases(self, layer: int, width: int) -> Dict[int, int]:
+        """Decided phases restricted to one layer: ``{unit: phase}``."""
+        return {unit: phase for (lay, unit), phase in self._phases.items()
+                if lay == layer and unit < width}
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def __iter__(self) -> Iterator[ReluSplit]:
+        for (layer, unit), phase in sorted(self._phases.items()):
+            yield ReluSplit(layer, unit, phase)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SplitAssignment):
+            return NotImplemented
+        return self._phases == other._phases
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._phases.items())))
+
+    def __str__(self) -> str:
+        if not self._phases:
+            return "Γ=ε"
+        return "Γ=" + "·".join(str(split) for split in self)
+
+    def satisfied_by(self, pre_activations: Iterable, tolerance: float = 1e-9) -> bool:
+        """Whether concrete pre-activation vectors satisfy every decided phase.
+
+        ``pre_activations`` is the per-layer list produced by
+        :meth:`repro.nn.network.LoweredNetwork.pre_activations`.
+        """
+        pre_activations = list(pre_activations)
+        for (layer, unit), phase in self._phases.items():
+            if layer >= len(pre_activations) or unit >= len(pre_activations[layer]):
+                return False
+            value = float(pre_activations[layer][unit])
+            if phase == ACTIVE and value < -tolerance:
+                return False
+            if phase == INACTIVE and value > tolerance:
+                return False
+        return True

@@ -1,0 +1,197 @@
+"""ABONN: Adaptive BaB with Order for Neural Network verification (Alg. 1).
+
+ABONN explores the BaB sub-problem space in an MCTS style.  Every iteration
+descends from the root along UCB1-selected children until it reaches an
+unexpanded node, expands that node's two phase-split children with AppVer,
+scores them with the counterexample potentiality (Def. 1), and
+back-propagates rewards (max over children) and subtree sizes towards the
+root.  The run terminates as soon as
+
+* ``R(ε) = +inf`` — a real counterexample was found (verdict ``false``),
+* ``R(ε) = -inf`` — every sub-problem is verified (verdict ``true``), or
+* the budget is exhausted (verdict ``timeout``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.core.config import AbonnConfig
+from repro.core.mcts import (
+    MctsNode,
+    propagate_rewards,
+    propagate_sizes,
+    select_child,
+)
+from repro.core.potentiality import PotentialityScorer
+from repro.nn.network import Network
+from repro.specs.properties import Specification
+from repro.utils.timing import Budget
+from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.milp import solve_leaf_lp
+from repro.verifiers.result import (
+    VerificationResult,
+    VerificationStatus,
+    Verifier,
+    make_budget,
+)
+
+
+class AbonnVerifier(Verifier):
+    """The paper's proposed verifier."""
+
+    name = "ABONN"
+
+    def __init__(self, config: Optional[AbonnConfig] = None) -> None:
+        self.config = config or AbonnConfig()
+
+    # -- public API -----------------------------------------------------------
+    def verify(self, network: Network, spec: Specification,
+               budget: Optional[Budget] = None) -> VerificationResult:
+        config = self.config
+        budget = make_budget(budget)
+        appver = ApproximateVerifier(network, spec, config.bound_method,
+                                     alpha_config=config.alpha_config)
+        heuristic = make_heuristic(config.heuristic)
+        scorer = PotentialityScorer(max(appver.num_relu_neurons, 1), config.lam)
+
+        # Initialisation (Alg. 1 lines 1-3, 8-9).
+        root_outcome = appver.evaluate()
+        budget.charge_node()
+        scorer.observe(root_outcome.p_hat)
+        if root_outcome.verified or root_outcome.report.infeasible:
+            return self._finish(VerificationStatus.VERIFIED, appver, budget,
+                                bound=root_outcome.p_hat, max_depth=0)
+        if root_outcome.falsified:
+            return self._finish(VerificationStatus.FALSIFIED, appver, budget,
+                                counterexample=root_outcome.candidate,
+                                bound=root_outcome.p_hat, max_depth=0)
+
+        root = MctsNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
+        root.reward = scorer.score(root_outcome.p_hat, False, 0)
+        self._has_unknown_leaf = False
+        self._max_depth = 0
+        self._lp_leaves = 0
+
+        # Main loop (Alg. 1 lines 4-7).
+        while not budget.exhausted():
+            self._mcts_bab(root, appver, heuristic, scorer, spec, budget)
+            if root.reward == float("inf"):
+                return self._finish(VerificationStatus.FALSIFIED, appver, budget,
+                                    counterexample=root.counterexample,
+                                    max_depth=self._max_depth)
+            if root.reward == float("-inf"):
+                status = (VerificationStatus.UNKNOWN if self._has_unknown_leaf
+                          else VerificationStatus.VERIFIED)
+                return self._finish(status, appver, budget, max_depth=self._max_depth)
+        return self._finish(VerificationStatus.TIMEOUT, appver, budget,
+                            max_depth=self._max_depth)
+
+    # -- one MCTS-BaB iteration (Alg. 1 lines 10-21) ---------------------------
+    def _mcts_bab(self, node: MctsNode, appver: ApproximateVerifier,
+                  heuristic: BranchingHeuristic, scorer: PotentialityScorer,
+                  spec: Specification, budget: Budget) -> None:
+        if node.is_expanded:
+            # Selection: descend along UCB1 (Alg. 1 lines 12-14).
+            child = select_child(node, self.config.exploration)
+            if child is None:
+                # Every branch below is verified; back-propagate -inf.
+                propagate_rewards(node)
+                return
+            self._mcts_bab(child, appver, heuristic, scorer, spec, budget)
+            return
+
+        # Expansion (Alg. 1 lines 15-21).
+        context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
+                                   report=node.outcome.report, splits=node.splits,
+                                   evaluate_split=self._make_probe(appver, budget))
+        neuron = heuristic.select(context)
+        if neuron is None:
+            budget.charge_node()  # the leaf LP costs about one bound computation
+            self._resolve_leaf(node, appver, spec)
+            propagate_rewards(node.parent or node)
+            return
+
+        node.branch_neuron = neuron
+        added = 0
+        for phase in (ACTIVE, INACTIVE):
+            if budget.exhausted():
+                break
+            child_splits = node.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
+            outcome = appver.evaluate(child_splits)
+            budget.charge_node()
+            scorer.observe(outcome.p_hat)
+            child = self._make_child(node, child_splits, outcome, scorer)
+            node.children[phase] = child
+            added += 1
+            self._max_depth = max(self._max_depth, child.depth)
+        if added:
+            propagate_sizes(node, added)
+            propagate_rewards(node)
+
+    def _make_child(self, parent: MctsNode, splits: SplitAssignment,
+                    outcome: AppVerOutcome, scorer: PotentialityScorer) -> MctsNode:
+        child = MctsNode(splits, depth=parent.depth + 1, outcome=outcome, parent=parent)
+        child.reward = scorer.score(outcome.p_hat, outcome.falsified, child.depth)
+        if outcome.report.infeasible:
+            child.reward = float("-inf")
+        if outcome.falsified:
+            child.counterexample = outcome.candidate
+        return child
+
+    def _resolve_leaf(self, node: MctsNode, appver: ApproximateVerifier,
+                      spec: Specification) -> None:
+        """Exactly resolve a node with no unstable neurons left."""
+        if not self.config.lp_leaf_refinement:
+            self._has_unknown_leaf = True
+            node.reward = float("-inf")
+            return
+        optimum = solve_leaf_lp(appver.lowered, spec.input_box, spec.output_spec,
+                                node.splits, node.outcome.report)
+        self._lp_leaves += 1
+        if not optimum.feasible or optimum.value >= 0.0:
+            node.reward = float("-inf")
+            return
+        if optimum.minimizer is None:  # pragma: no cover - solver failure
+            self._has_unknown_leaf = True
+            node.reward = float("-inf")
+            return
+        point = spec.input_box.clip(optimum.minimizer)
+        if spec.is_counterexample(appver.network, point):
+            node.reward = float("inf")
+            node.counterexample = point
+        else:  # pragma: no cover - numerical corner case
+            self._has_unknown_leaf = True
+            node.reward = float("-inf")
+
+    # -- helpers ----------------------------------------------------------------
+    @staticmethod
+    def _make_probe(appver: ApproximateVerifier, budget: Budget):
+        def probe(splits: SplitAssignment) -> float:
+            budget.charge_node()
+            return appver.evaluate(splits).p_hat
+        return probe
+
+    def _finish(self, status: VerificationStatus, appver: ApproximateVerifier,
+                budget: Budget, counterexample: Optional[np.ndarray] = None,
+                bound: Optional[float] = None, max_depth: int = 0) -> VerificationResult:
+        return VerificationResult(
+            status=status,
+            verifier=self.name,
+            elapsed_seconds=budget.elapsed_seconds,
+            nodes_explored=appver.num_calls,
+            tree_size=appver.num_calls,
+            counterexample=counterexample,
+            bound=bound,
+            extras={
+                "max_depth": max_depth,
+                "lambda": self.config.lam,
+                "exploration": self.config.exploration,
+                "heuristic": self.config.heuristic,
+                "lp_leaves_resolved": getattr(self, "_lp_leaves", 0),
+            },
+        )

@@ -1,0 +1,48 @@
+"""Configuration of the ABONN verifier (the hyperparameters of Alg. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bounds.alpha_crown import AlphaCrownConfig
+from repro.utils.validation import require
+
+#: The paper's default hyperparameters (§V-A): λ = 0.5, c = 0.2.
+DEFAULT_LAMBDA = 0.5
+DEFAULT_EXPLORATION = 0.2
+
+
+@dataclass(frozen=True)
+class AbonnConfig:
+    """Hyperparameters of ABONN (Alg. 1).
+
+    Attributes
+    ----------
+    lam:
+        λ of Def. 1 — the weight of the depth attribute in the
+        counterexample potentiality (the remaining ``1 - λ`` weights the
+        normalised ``p̂`` attribute).
+    exploration:
+        ``c`` of the UCB1 rule in Alg. 1 line 13 — the exploration bonus
+        weight (0 means pure exploitation).
+    heuristic:
+        Name of the ReLU branching heuristic ``H`` (see
+        :mod:`repro.bab.heuristics`); the paper uses DeepSplit.
+    bound_method:
+        AppVer back-end: ``"deeppoly"`` (default), ``"alpha-crown"``, ``"ibp"``.
+    lp_leaf_refinement:
+        Resolve fully phase-decided leaves exactly with an LP (keeps the
+        procedure complete, mirroring the paper's GUROBI back-end).
+    """
+
+    lam: float = DEFAULT_LAMBDA
+    exploration: float = DEFAULT_EXPLORATION
+    heuristic: str = "deepsplit"
+    bound_method: str = "deeppoly"
+    lp_leaf_refinement: bool = True
+    alpha_config: Optional[AlphaCrownConfig] = None
+
+    def __post_init__(self) -> None:
+        require(0.0 <= self.lam <= 1.0, "lam must be in [0, 1]")
+        require(self.exploration >= 0.0, "exploration must be non-negative")

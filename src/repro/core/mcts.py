@@ -1,0 +1,134 @@
+"""The MCTS tree structure used by ABONN's adaptive exploration.
+
+Alg. 1 maintains, for every node Γ of the BaB tree,
+
+* a reward ``R(Γ)`` — the counterexample potentiality of the best node in
+  the subtree rooted at Γ (rewards are back-propagated as the maximum over
+  children);
+* the node set ``T(Γ)`` of that subtree — only its cardinality matters for
+  the UCB1 rule, so this implementation stores the size.
+
+Child selection uses UCB1 (line 13):
+
+``argmax_a  R(Γ·a) + c · sqrt(2 ln |T(Γ)| / |T(Γ·a)|)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
+from repro.utils.validation import require
+from repro.verifiers.appver import AppVerOutcome
+
+
+@dataclass
+class MctsNode:
+    """A node of ABONN's search tree (one BaB sub-problem)."""
+
+    splits: SplitAssignment
+    depth: int
+    outcome: Optional[AppVerOutcome]
+    reward: float = float("-inf")
+    subtree_size: int = 1
+    parent: Optional["MctsNode"] = None
+    #: The ReLU neuron whose two phases produced this node's children.
+    branch_neuron: Optional[Tuple[int, int]] = None
+    children: Dict[int, "MctsNode"] = field(default_factory=dict)
+    #: A real counterexample found in this node's subtree, if any.
+    counterexample: Optional[np.ndarray] = None
+
+    @property
+    def is_expanded(self) -> bool:
+        return bool(self.children)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def p_hat(self) -> Optional[float]:
+        return None if self.outcome is None else self.outcome.p_hat
+
+    def child(self, phase: int) -> "MctsNode":
+        require(phase in (ACTIVE, INACTIVE), "phase must be +1 or -1")
+        require(phase in self.children, "child has not been expanded")
+        return self.children[phase]
+
+    def refresh_from_children(self) -> None:
+        """Back-propagation step: reward becomes the max over the children."""
+        if not self.children:
+            return
+        self.reward = max(child.reward for child in self.children.values())
+        for child in self.children.values():
+            if child.counterexample is not None:
+                self.counterexample = child.counterexample
+                break
+
+    def descendants(self) -> List["MctsNode"]:
+        """All nodes of this subtree (including the node itself)."""
+        nodes = [self]
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            stack.extend(node.children.values())
+        return nodes
+
+
+def ucb1_score(child_reward: float, parent_subtree_size: int,
+               child_subtree_size: int, exploration: float) -> float:
+    """The UCB1 value of one child (Alg. 1 line 13)."""
+    require(parent_subtree_size >= 1 and child_subtree_size >= 1,
+            "subtree sizes must be positive")
+    if child_reward == float("-inf"):
+        # A fully verified branch can never yield a counterexample; the
+        # exploration bonus must not resurrect it.
+        return float("-inf")
+    if child_reward == float("inf"):
+        return float("inf")
+    bonus = exploration * math.sqrt(
+        2.0 * math.log(parent_subtree_size) / child_subtree_size)
+    return child_reward + bonus
+
+
+def select_child(node: MctsNode, exploration: float) -> Optional[MctsNode]:
+    """Pick the child to descend into, or ``None`` when all are exhausted.
+
+    Ties are broken in favour of the ``r+`` child for determinism.
+    """
+    require(node.is_expanded, "cannot select a child of an unexpanded node")
+    best_child: Optional[MctsNode] = None
+    best_score = float("-inf")
+    for phase in (ACTIVE, INACTIVE):
+        child = node.children.get(phase)
+        if child is None:
+            continue
+        score = ucb1_score(child.reward, node.subtree_size, child.subtree_size,
+                           exploration)
+        if score > best_score:
+            best_score = score
+            best_child = child
+    if best_score == float("-inf"):
+        return None
+    return best_child
+
+
+def propagate_sizes(node: MctsNode, added: int) -> None:
+    """Add ``added`` new nodes to the subtree sizes of ``node`` and its ancestors."""
+    current: Optional[MctsNode] = node
+    while current is not None:
+        current.subtree_size += added
+        current = current.parent
+
+
+def propagate_rewards(node: MctsNode) -> None:
+    """Recompute rewards from ``node`` up to the root (max over children)."""
+    current: Optional[MctsNode] = node
+    while current is not None:
+        current.refresh_from_children()
+        current = current.parent

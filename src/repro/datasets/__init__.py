@@ -1,0 +1,15 @@
+"""Synthetic dataset substrate (stands in for MNIST / CIFAR-10, see DESIGN.md)."""
+
+from repro.datasets.synthetic import (
+    Dataset,
+    make_blob_dataset,
+    make_stripe_dataset,
+    train_test_split,
+)
+
+__all__ = [
+    "Dataset",
+    "make_blob_dataset",
+    "make_stripe_dataset",
+    "train_test_split",
+]

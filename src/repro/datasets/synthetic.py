@@ -1,0 +1,164 @@
+"""Deterministic synthetic image-classification datasets.
+
+The paper evaluates on MNIST and CIFAR-10; neither the images nor the
+pretrained VNN-COMP networks are available in this offline environment, so
+we substitute synthetic datasets that reproduce the *structural* properties
+relevant to verification:
+
+* several visually-distinct classes whose prototypes differ in localised
+  regions (so convolutional and dense models both learn meaningful filters),
+* per-sample noise so trained networks have a mixture of robust and fragile
+  inputs, which yields the mix of certified / violated / hard verification
+  instances the paper's benchmark selection (Fig. 3) relies on,
+* pixel values in ``[0, 1]`` so L∞ robustness specifications carry over
+  verbatim.
+
+Two generators are provided, mirroring the two dataset families:
+
+* :func:`make_blob_dataset` ("MNIST-like"): single-channel images whose
+  classes are blurred blobs at class-specific locations;
+* :func:`make_stripe_dataset` ("CIFAR-like"): multi-channel images whose
+  classes combine stripe orientation and colour balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled image dataset with values in ``[0, 1]``.
+
+    Attributes
+    ----------
+    inputs:
+        Array of shape ``(count, *image_shape)``.
+    labels:
+        Integer class labels of shape ``(count,)``.
+    num_classes:
+        Number of distinct classes.
+    name:
+        Human-readable dataset name (appears in benchmark tables).
+    """
+
+    inputs: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str
+
+    def __post_init__(self) -> None:
+        require(self.inputs.shape[0] == self.labels.shape[0],
+                "inputs and labels must have the same number of samples")
+        require(self.num_classes >= 2, "a classification dataset needs >= 2 classes")
+
+    @property
+    def count(self) -> int:
+        return int(self.inputs.shape[0])
+
+    @property
+    def image_shape(self) -> Tuple[int, ...]:
+        return tuple(self.inputs.shape[1:])
+
+    def sample(self, index: int) -> Tuple[np.ndarray, int]:
+        """Return the ``(image, label)`` pair at ``index``."""
+        require(0 <= index < self.count, f"sample index {index} out of range")
+        return self.inputs[index], int(self.labels[index])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(self.inputs[indices], self.labels[indices],
+                       self.num_classes, self.name)
+
+
+def _class_prototype_blob(label: int, num_classes: int, size: int) -> np.ndarray:
+    """A blurred bright blob whose centre position encodes the class."""
+    angle = 2.0 * np.pi * label / num_classes
+    radius = 0.28 * size
+    centre_row = size / 2.0 + radius * np.sin(angle)
+    centre_col = size / 2.0 + radius * np.cos(angle)
+    rows = np.arange(size).reshape(-1, 1)
+    cols = np.arange(size).reshape(1, -1)
+    sigma = 0.16 * size + 0.6
+    blob = np.exp(-((rows - centre_row) ** 2 + (cols - centre_col) ** 2) / (2 * sigma ** 2))
+    return blob / blob.max()
+
+
+def make_blob_dataset(count: int = 300, size: int = 7, num_classes: int = 4,
+                      noise: float = 0.12, seed: SeedLike = 0,
+                      name: str = "blobs") -> Dataset:
+    """Single-channel "MNIST-like" dataset of class-positioned blobs.
+
+    Parameters
+    ----------
+    count:
+        Number of samples (classes are balanced up to rounding).
+    size:
+        Image height and width in pixels.
+    num_classes:
+        Number of classes; each class places a blob at a distinct position.
+    noise:
+        Standard deviation of the additive Gaussian pixel noise.
+    """
+    require(count > 0 and size >= 3 and num_classes >= 2, "invalid dataset parameters")
+    require(noise >= 0, "noise must be non-negative")
+    rng = as_rng(seed)
+    prototypes = np.stack([_class_prototype_blob(c, num_classes, size)
+                           for c in range(num_classes)])
+    labels = np.arange(count) % num_classes
+    rng.shuffle(labels)
+    images = prototypes[labels] + rng.normal(0.0, noise, size=(count, size, size))
+    images = np.clip(images, 0.0, 1.0)
+    return Dataset(images.reshape(count, 1, size, size), labels, num_classes, name)
+
+
+def _class_prototype_stripes(label: int, num_classes: int, size: int,
+                             channels: int) -> np.ndarray:
+    """Striped multi-channel prototype: class encodes period, phase, colour."""
+    period = 2 + (label % 3)
+    vertical = (label // 3) % 2 == 0
+    rows = np.arange(size).reshape(-1, 1)
+    cols = np.arange(size).reshape(1, -1)
+    phase = rows if vertical else cols
+    pattern = 0.5 + 0.5 * np.sin(2 * np.pi * phase / period + label)
+    image = np.empty((channels, size, size))
+    for channel in range(channels):
+        weight = 0.35 + 0.65 * ((label + channel) % channels) / max(channels - 1, 1)
+        image[channel] = weight * pattern + (1 - weight) * (1 - pattern)
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_stripe_dataset(count: int = 300, size: int = 8, channels: int = 3,
+                        num_classes: int = 4, noise: float = 0.1,
+                        seed: SeedLike = 0, name: str = "stripes") -> Dataset:
+    """Multi-channel "CIFAR-like" dataset of coloured stripe patterns."""
+    require(count > 0 and size >= 3 and num_classes >= 2 and channels >= 1,
+            "invalid dataset parameters")
+    require(noise >= 0, "noise must be non-negative")
+    rng = as_rng(seed)
+    prototypes = np.stack([_class_prototype_stripes(c, num_classes, size, channels)
+                           for c in range(num_classes)])
+    labels = np.arange(count) % num_classes
+    rng.shuffle(labels)
+    images = prototypes[labels] + rng.normal(0.0, noise,
+                                             size=(count, channels, size, size))
+    images = np.clip(images, 0.0, 1.0)
+    return Dataset(images, labels, num_classes, name)
+
+
+def train_test_split(dataset: Dataset, train_fraction: float = 0.8,
+                     seed: SeedLike = 0) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into train and test subsets."""
+    require(0.0 < train_fraction < 1.0, "train_fraction must be in (0, 1)")
+    rng = as_rng(seed)
+    order = rng.permutation(dataset.count)
+    cut = int(round(dataset.count * train_fraction))
+    require(0 < cut < dataset.count, "split produces an empty subset")
+    return dataset.subset(order[:cut]), dataset.subset(order[cut:])

@@ -1,0 +1,109 @@
+"""Run verifiers over benchmark suites and collect per-instance results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.suite import BenchmarkSuite, VerificationInstance
+from repro.utils.timing import Budget
+from repro.verifiers.result import VerificationResult, VerificationStatus, Verifier
+
+#: A factory is used instead of a verifier instance so that stateful verifiers
+#: (e.g. those holding RNGs) start fresh on every instance.
+VerifierFactory = Callable[[], Verifier]
+
+
+@dataclass
+class InstanceRun:
+    """The outcome of one verifier on one benchmark instance."""
+
+    instance: VerificationInstance
+    result: VerificationResult
+
+    @property
+    def solved(self) -> bool:
+        return self.result.solved
+
+    @property
+    def time(self) -> float:
+        return self.result.elapsed_seconds
+
+    @property
+    def nodes(self) -> int:
+        return self.result.nodes_explored
+
+
+@dataclass
+class SuiteRunResult:
+    """All per-instance results of one verifier over a suite."""
+
+    verifier_name: str
+    runs: List[InstanceRun] = field(default_factory=list)
+
+    def by_family(self, family: str) -> List[InstanceRun]:
+        return [run for run in self.runs if run.instance.family == family]
+
+    def run_for(self, instance_id: str) -> Optional[InstanceRun]:
+        for run in self.runs:
+            if run.instance.instance_id == instance_id:
+                return run
+        return None
+
+    @property
+    def solved_count(self) -> int:
+        return sum(1 for run in self.runs if run.solved)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def run_suite(verifier_factory: VerifierFactory, suite: BenchmarkSuite,
+              budget: Budget, instances: Optional[Sequence[VerificationInstance]] = None,
+              progress: Optional[Callable[[VerificationInstance, VerificationResult], None]]
+              = None) -> SuiteRunResult:
+    """Run one verifier over (a subset of) a suite with a per-instance budget.
+
+    ``budget`` is copied for every instance, so the limits apply per problem
+    exactly as the paper's per-problem 1000 s timeout does.
+    """
+    instances = list(instances if instances is not None else suite.instances)
+    verifier = verifier_factory()
+    outcome = SuiteRunResult(verifier_name=verifier.name)
+    for index, instance in enumerate(instances):
+        if index > 0:
+            verifier = verifier_factory()
+        network = suite.network_for(instance)
+        result = verifier.verify(network, instance.spec, budget.copy())
+        outcome.runs.append(InstanceRun(instance=instance, result=result))
+        if progress is not None:
+            progress(instance, result)
+    return outcome
+
+
+def run_matrix(verifier_factories: Dict[str, VerifierFactory], suite: BenchmarkSuite,
+               budget: Budget,
+               instances: Optional[Sequence[VerificationInstance]] = None
+               ) -> Dict[str, SuiteRunResult]:
+    """Run several verifiers over the same suite (the Table II experiment)."""
+    return {name: run_suite(factory, suite, budget, instances=instances)
+            for name, factory in verifier_factories.items()}
+
+
+def ground_truth_statuses(results: Iterable[SuiteRunResult]) -> Dict[str, VerificationStatus]:
+    """Best-effort ground truth per instance from a collection of runs.
+
+    An instance is *violated* if any sound verifier falsified it, *certified*
+    if any verified it, and unknown otherwise.  Used by the RQ3 figure, which
+    groups instances by their true status.
+    """
+    truth: Dict[str, VerificationStatus] = {}
+    for suite_result in results:
+        for run in suite_result.runs:
+            key = run.instance.instance_id
+            status = run.result.status
+            if status == VerificationStatus.FALSIFIED:
+                truth[key] = VerificationStatus.FALSIFIED
+            elif status == VerificationStatus.VERIFIED and key not in truth:
+                truth[key] = VerificationStatus.VERIFIED
+    return truth

@@ -1,0 +1,92 @@
+"""Text renderers for the paper's tables (Table I and Table II)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.metrics import average_time, solved_count
+from repro.experiments.runner import SuiteRunResult
+from repro.experiments.suite import BenchmarkSuite, table1_rows
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a simple fixed-width ASCII table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else \
+        [[str(h)] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Serialise table rows as CSV text (used to save experiment outputs)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Table I — benchmark details
+# ---------------------------------------------------------------------------
+
+TABLE1_HEADERS = ("Model", "Dataset", "Architecture", "#Neurons", "#Instances")
+
+
+def table1(suite: BenchmarkSuite) -> List[List[object]]:
+    """Rows of Table I for the generated suite."""
+    return [[row["model"], row["dataset"], row["architecture"], row["neurons"],
+             row["instances"]] for row in table1_rows(suite)]
+
+
+def render_table1(suite: BenchmarkSuite) -> str:
+    return render_table(TABLE1_HEADERS, table1(suite),
+                        title="Table I: Details of the benchmarks")
+
+
+# ---------------------------------------------------------------------------
+# Table II — RQ1 overall comparison
+# ---------------------------------------------------------------------------
+
+def table2(suite: BenchmarkSuite, results: Dict[str, SuiteRunResult],
+           timeout_seconds: Optional[float] = None) -> List[List[object]]:
+    """Rows of Table II: per model family, Solved and Time for each verifier.
+
+    ``results`` maps display names to suite runs; columns follow the mapping
+    order (the paper uses BaB-baseline, αβ-CROWN, ABONN).
+    """
+    rows: List[List[object]] = []
+    for family in suite.families:
+        row: List[object] = [family]
+        for result in results.values():
+            family_runs = result.by_family(family)
+            row.append(solved_count(family_runs))
+            row.append(round(average_time(family_runs, timeout_seconds), 3))
+        rows.append(row)
+    return rows
+
+
+def table2_headers(results: Dict[str, SuiteRunResult]) -> List[str]:
+    headers = ["Model"]
+    for name in results:
+        headers.extend([f"{name} Solved", f"{name} Time(s)"])
+    return headers
+
+
+def render_table2(suite: BenchmarkSuite, results: Dict[str, SuiteRunResult],
+                  timeout_seconds: Optional[float] = None) -> str:
+    return render_table(table2_headers(results), table2(suite, results, timeout_seconds),
+                        title="Table II: RQ1 - overall comparison "
+                              "(solved instances and average time)")

@@ -1,0 +1,45 @@
+"""Neural network substrate: layers, networks, training, and the model zoo."""
+
+from repro.nn.layers import Conv2d, Dense, Flatten, Layer, ReLU
+from repro.nn.network import LoweredNetwork, Network, dense_network
+from repro.nn.training import (
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    accuracy,
+    cross_entropy_loss,
+    softmax,
+    train_network,
+)
+from repro.nn.zoo import (
+    FAMILY_ORDER,
+    MODEL_FAMILIES,
+    ModelFamily,
+    build_trained_model,
+    clear_model_cache,
+    family,
+)
+
+__all__ = [
+    "Conv2d",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "ReLU",
+    "LoweredNetwork",
+    "Network",
+    "dense_network",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "accuracy",
+    "cross_entropy_loss",
+    "softmax",
+    "train_network",
+    "FAMILY_ORDER",
+    "MODEL_FAMILIES",
+    "ModelFamily",
+    "build_trained_model",
+    "clear_model_cache",
+    "family",
+]

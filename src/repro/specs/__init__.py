@@ -1,0 +1,26 @@
+"""Specification substrate: input boxes, linear output properties, VNN-LIB I/O."""
+
+from repro.specs.properties import InputBox, LinearOutputSpec, Specification
+from repro.specs.robustness import local_robustness_spec, robustness_output_spec
+from repro.specs.vnnlib import (
+    ParsedVnnLib,
+    VnnLibError,
+    load_vnnlib,
+    parse_vnnlib,
+    save_vnnlib,
+    specification_to_vnnlib,
+)
+
+__all__ = [
+    "InputBox",
+    "LinearOutputSpec",
+    "Specification",
+    "local_robustness_spec",
+    "robustness_output_spec",
+    "ParsedVnnLib",
+    "VnnLibError",
+    "load_vnnlib",
+    "parse_vnnlib",
+    "save_vnnlib",
+    "specification_to_vnnlib",
+]

@@ -1,0 +1,62 @@
+"""Local-robustness specification builders.
+
+The paper's 552 benchmark problems are all L∞ local-robustness properties:
+for a reference input ``x0`` with label ``t``, every input within an L∞
+ball of radius ``ε`` must be classified as ``t``.  In the linear form of
+:class:`repro.specs.properties.LinearOutputSpec` this is the conjunction of
+``y_t - y_j >= 0`` for every other class ``j``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.specs.properties import InputBox, LinearOutputSpec, Specification
+from repro.utils.validation import require
+
+
+def robustness_output_spec(num_classes: int, label: int,
+                           target: Optional[int] = None) -> LinearOutputSpec:
+    """Output property "class ``label`` wins" as linear constraints.
+
+    With ``target`` given, only the single constraint ``y_label - y_target >= 0``
+    is produced (a targeted-robustness property); otherwise one constraint per
+    competing class.
+    """
+    require(num_classes >= 2, "need at least two classes")
+    require(0 <= label < num_classes, f"label {label} out of range")
+    if target is not None:
+        require(0 <= target < num_classes and target != label,
+                f"target {target} must be a class different from the label")
+        competitors: Sequence[int] = [target]
+    else:
+        competitors = [j for j in range(num_classes) if j != label]
+    coefficients = np.zeros((len(competitors), num_classes))
+    for row, competitor in enumerate(competitors):
+        coefficients[row, label] = 1.0
+        coefficients[row, competitor] = -1.0
+    description = (f"class {label} beats class {target}" if target is not None
+                   else f"class {label} beats all other classes")
+    return LinearOutputSpec(coefficients, np.zeros(len(competitors)), description)
+
+
+def local_robustness_spec(reference: np.ndarray, epsilon: float, label: int,
+                          num_classes: int, target: Optional[int] = None,
+                          domain_lower: float = 0.0, domain_upper: float = 1.0,
+                          name: Optional[str] = None) -> Specification:
+    """Build the L∞ local-robustness verification problem around ``reference``."""
+    reference = np.asarray(reference, dtype=float).reshape(-1)
+    input_box = InputBox.from_linf_ball(reference, epsilon, domain_lower, domain_upper)
+    output_spec = robustness_output_spec(num_classes, label, target)
+    if name is None:
+        name = f"robustness(eps={epsilon:g}, label={label})"
+    metadata = {
+        "kind": "local_robustness",
+        "epsilon": float(epsilon),
+        "label": int(label),
+        "target": None if target is None else int(target),
+        "reference": reference.copy(),
+    }
+    return Specification(input_box, output_spec, name=name, metadata=metadata)

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG handling, timing, and validation helpers."""
+
+from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.timing import Stopwatch, Budget
+from repro.utils.validation import (
+    require,
+    require_finite_array,
+    require_shape,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "Budget",
+    "require",
+    "require_finite_array",
+    "require_shape",
+]

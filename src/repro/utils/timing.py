@@ -1,0 +1,96 @@
+"""Timing primitives: stopwatch and combined wall-clock / node budgets.
+
+The paper terminates each verification run after a 1000 s wall-clock budget.
+In this reproduction we support both wall-clock budgets and *node* budgets
+(the number of AppVer calls), because node budgets make benchmark results
+machine-independent and keep the benchmark harness fast.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Stopwatch:
+    """A simple restartable stopwatch measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the currently running span."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class Budget:
+    """A combined wall-clock-seconds and node-count budget.
+
+    ``max_seconds=None`` or ``max_nodes=None`` disables the respective limit.
+    ``nodes`` counts the number of AppVer (bound computation) calls charged
+    via :meth:`charge_node`.
+    """
+
+    max_seconds: Optional[float] = None
+    max_nodes: Optional[int] = None
+    nodes: int = 0
+    _watch: Stopwatch = field(default_factory=Stopwatch, repr=False)
+
+    def start(self) -> "Budget":
+        self._watch.start()
+        return self
+
+    def charge_node(self, count: int = 1) -> None:
+        """Charge ``count`` bound-computation calls against the budget."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self.nodes += count
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self._watch.elapsed
+
+    def exhausted(self) -> bool:
+        """Return True when either limit has been reached."""
+        if self.max_seconds is not None and self._watch.elapsed >= self.max_seconds:
+            return True
+        if self.max_nodes is not None and self.nodes >= self.max_nodes:
+            return True
+        return False
+
+    def remaining_nodes(self) -> Optional[int]:
+        if self.max_nodes is None:
+            return None
+        return max(0, self.max_nodes - self.nodes)
+
+    def copy(self) -> "Budget":
+        """Return a fresh, unstarted budget with the same limits."""
+        return Budget(max_seconds=self.max_seconds, max_nodes=self.max_nodes)

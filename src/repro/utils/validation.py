@@ -1,0 +1,29 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_finite_array(array: np.ndarray, name: str) -> np.ndarray:
+    """Return ``array`` as float ndarray, raising if it contains NaN/inf."""
+    out = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(out)):
+        raise ValueError(f"{name} must contain only finite values")
+    return out
+
+
+def require_shape(array: np.ndarray, shape: Sequence[int], name: str) -> np.ndarray:
+    """Return ``array`` checked against an exact shape."""
+    out = np.asarray(array)
+    if tuple(out.shape) != tuple(shape):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {out.shape}")
+    return out

@@ -1,0 +1,122 @@
+"""The ``AppVer`` oracle used by every BaB-style verifier in the library.
+
+An approximated verifier, applied to a (sub-)problem, returns (§III):
+
+* ``p̂`` — a sound lower bound of the specification margin over the
+  sub-problem (positive means the sub-problem is verified);
+* ``x̂`` — a candidate counterexample, only meaningful when ``p̂ < 0``;
+* whether ``x̂`` is *valid*, i.e. a real counterexample of the original
+  problem (``valid(x̂)`` in Def. 1 / Alg. 1).
+
+This module wraps the bound-propagation analysers of :mod:`repro.bounds`
+behind that interface and counts calls, which is how all verifiers charge
+their node budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.bounds.alpha_crown import AlphaCrownAnalyzer, AlphaCrownConfig
+from repro.bounds.deeppoly import DeepPolyAnalyzer
+from repro.bounds.interval import interval_bounds
+from repro.bounds.report import BoundReport
+from repro.bounds.splits import SplitAssignment
+from repro.nn.network import Network
+from repro.specs.properties import Specification
+from repro.utils.validation import require
+
+#: Supported bound-propagation back-ends.
+BOUND_METHODS = ("deeppoly", "alpha-crown", "ibp")
+
+
+@dataclass
+class AppVerOutcome:
+    """One AppVer evaluation of a sub-problem."""
+
+    p_hat: float
+    candidate: Optional[np.ndarray]
+    is_valid_counterexample: bool
+    report: BoundReport
+
+    @property
+    def verified(self) -> bool:
+        """The sub-problem is proven to satisfy the specification."""
+        return self.p_hat > 0.0
+
+    @property
+    def falsified(self) -> bool:
+        """A real counterexample of the original problem was found."""
+        return self.p_hat < 0.0 and self.is_valid_counterexample
+
+    @property
+    def needs_split(self) -> bool:
+        """``p̂ < 0`` with only a spurious counterexample: a false alarm."""
+        return not self.verified and not self.falsified
+
+
+class ApproximateVerifier:
+    """AppVer for a fixed network and specification.
+
+    Parameters
+    ----------
+    network:
+        The network under verification.
+    spec:
+        The verification problem ``(Φ, Ψ)``.
+    method:
+        One of ``"deeppoly"`` (default), ``"alpha-crown"`` or ``"ibp"``.
+    alpha_config:
+        Optional α-CROWN optimiser configuration (only used by that method).
+    """
+
+    def __init__(self, network: Network, spec: Specification, method: str = "deeppoly",
+                 alpha_config: Optional[AlphaCrownConfig] = None) -> None:
+        require(method in BOUND_METHODS,
+                f"unknown bound method {method!r}; choose one of {BOUND_METHODS}")
+        self.network = network
+        self.spec = spec
+        self.method = method
+        self.lowered = network.lowered()
+        require(self.lowered.input_dim == spec.input_dim,
+                "specification input dimension does not match the network")
+        require(self.lowered.output_dim == spec.output_dim,
+                "specification output dimension does not match the network")
+        self._deeppoly = DeepPolyAnalyzer(self.lowered)
+        self._alpha = AlphaCrownAnalyzer(self.lowered, alpha_config)
+        self.num_calls = 0
+
+    @property
+    def num_relu_neurons(self) -> int:
+        """The constant ``K`` of Def. 1."""
+        return self.lowered.num_relu_neurons
+
+    def evaluate(self, splits: Optional[SplitAssignment] = None,
+                 method: Optional[str] = None) -> AppVerOutcome:
+        """Apply the approximated verifier to the sub-problem ``splits``."""
+        splits = splits or SplitAssignment.empty()
+        method = method or self.method
+        require(method in BOUND_METHODS, f"unknown bound method {method!r}")
+        self.num_calls += 1
+        if method == "ibp":
+            report = interval_bounds(self.lowered, self.spec.input_box,
+                                     splits=splits, spec=self.spec.output_spec)
+        elif method == "alpha-crown":
+            report = self._alpha.analyze(self.spec.input_box, splits=splits,
+                                         spec=self.spec.output_spec)
+        else:
+            report = self._deeppoly.analyze(self.spec.input_box, splits=splits,
+                                            spec=self.spec.output_spec)
+        candidate = report.candidate_input
+        valid = False
+        if candidate is not None and report.p_hat is not None and report.p_hat < 0.0:
+            valid = self.spec.is_counterexample(self.network, candidate)
+        p_hat = float(report.p_hat) if report.p_hat is not None else float("-inf")
+        return AppVerOutcome(p_hat=p_hat, candidate=candidate,
+                             is_valid_counterexample=valid, report=report)
+
+    def reset_counter(self) -> None:
+        self.num_calls = 0

@@ -1,0 +1,151 @@
+"""Adversarial-attack substrate: FGSM and multi-restart PGD falsification.
+
+Attacks search for concrete counterexamples by minimising the specification
+margin with (signed) gradient steps projected onto the input box.  They play
+two roles in the library, mirroring how the paper's baselines use them:
+
+* quick falsification before/while running expensive branch and bound
+  (used by the αβ-CROWN-like baseline);
+* validation or sharpening of the counterexample candidates returned by the
+  bound-propagation verifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.specs.properties import InputBox, LinearOutputSpec, Specification
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Hyperparameters of the PGD attack."""
+
+    steps: int = 30
+    restarts: int = 3
+    step_fraction: float = 0.15  # step size as a fraction of the box radius
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.steps >= 1, "steps must be positive")
+        require(self.restarts >= 1, "restarts must be positive")
+        require(self.step_fraction > 0, "step_fraction must be positive")
+
+
+@dataclass
+class AttackResult:
+    """Best input found by an attack and its specification margin."""
+
+    best_input: np.ndarray
+    best_margin: float
+    iterations: int
+
+    @property
+    def is_counterexample(self) -> bool:
+        return self.best_margin < 0.0
+
+
+def margin_and_gradient(network: Network, spec: LinearOutputSpec,
+                        point: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Specification margin at ``point`` and its gradient w.r.t. the input.
+
+    The margin is ``min_i (C_i @ f(x) + d_i)``; its gradient is the gradient
+    of the active (minimal) row, obtained with one backward pass.
+    """
+    point = np.asarray(point, dtype=float).reshape(1, -1)
+    output = network.forward(point)[0]
+    values = spec.constraint_values(output)
+    worst_row = int(np.argmin(values))
+    grad_output = np.zeros((1, spec.output_dim))
+    grad_output[0] = spec.coefficients[worst_row]
+    grad_input = network.backward(grad_output).reshape(-1)
+    return float(values[worst_row]), grad_input
+
+
+def fgsm(network: Network, spec: Specification,
+         start: Optional[np.ndarray] = None) -> AttackResult:
+    """Single signed-gradient step from the box centre (or ``start``)."""
+    box = spec.input_box
+    point = box.center if start is None else box.clip(start)
+    margin, gradient = margin_and_gradient(network, spec.output_spec, point)
+    stepped = box.clip(point - np.sign(gradient) * (box.upper - box.lower))
+    stepped_margin, _ = margin_and_gradient(network, spec.output_spec, stepped)
+    if stepped_margin < margin:
+        return AttackResult(stepped, stepped_margin, 1)
+    return AttackResult(point, margin, 1)
+
+
+def pgd_attack(network: Network, spec: Specification,
+               config: Optional[AttackConfig] = None,
+               start: Optional[np.ndarray] = None,
+               rng: SeedLike = None) -> AttackResult:
+    """Multi-restart projected gradient descent on the specification margin.
+
+    Returns the input with the lowest margin found; a negative margin means
+    a real counterexample (the returned point is always inside the box).
+    """
+    config = config or AttackConfig()
+    rng = as_rng(config.seed if rng is None else rng)
+    box = spec.input_box
+    step = config.step_fraction * np.maximum(box.upper - box.lower, 1e-12)
+
+    best_point = box.center
+    best_margin, _ = margin_and_gradient(network, spec.output_spec, best_point)
+    iterations = 0
+
+    starts = []
+    if start is not None:
+        starts.append(box.clip(start))
+    starts.append(box.center)
+    while len(starts) < config.restarts:
+        starts.append(box.sample(rng, 1)[0])
+
+    for start_point in starts[:config.restarts]:
+        point = start_point.copy()
+        for _ in range(config.steps):
+            margin, gradient = margin_and_gradient(network, spec.output_spec, point)
+            iterations += 1
+            if margin < best_margin:
+                best_margin, best_point = margin, point.copy()
+            if margin < 0.0:
+                return AttackResult(point.copy(), margin, iterations)
+            point = box.clip(point - step * np.sign(gradient))
+        margin, _ = margin_and_gradient(network, spec.output_spec, point)
+        iterations += 1
+        if margin < best_margin:
+            best_margin, best_point = margin, point.copy()
+        if best_margin < 0.0:
+            break
+    return AttackResult(best_point, best_margin, iterations)
+
+
+def empirical_robustness_radius(network: Network, reference: np.ndarray, label: int,
+                                num_classes: int, upper: float = 0.5,
+                                tolerance: float = 1e-3,
+                                config: Optional[AttackConfig] = None) -> float:
+    """Binary-search the smallest ε at which PGD finds an adversarial example.
+
+    Used by the benchmark-suite generator to place instance perturbation radii
+    in the interesting regime between "trivially certified" and "trivially
+    falsified".
+    """
+    from repro.specs.robustness import local_robustness_spec
+
+    low, high = 0.0, float(upper)
+    spec_high = local_robustness_spec(reference, high, label, num_classes)
+    if not pgd_attack(network, spec_high, config).is_counterexample:
+        return high
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        spec = local_robustness_spec(reference, mid, label, num_classes)
+        if pgd_attack(network, spec, config).is_counterexample:
+            high = mid
+        else:
+            low = mid
+    return high

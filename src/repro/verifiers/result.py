@@ -1,0 +1,87 @@
+"""Verification verdicts, results and the common verifier interface."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.specs.properties import Specification
+from repro.utils.timing import Budget
+
+
+class VerificationStatus(enum.Enum):
+    """Outcome of a verification run (the paper's ``{true, false, timeout}``)."""
+
+    VERIFIED = "verified"      # the specification holds on the whole input box
+    FALSIFIED = "falsified"    # a real counterexample was found
+    TIMEOUT = "timeout"        # the budget ran out before a conclusion
+    UNKNOWN = "unknown"        # the verifier gave up for another reason
+
+    @property
+    def is_conclusive(self) -> bool:
+        return self in (VerificationStatus.VERIFIED, VerificationStatus.FALSIFIED)
+
+
+@dataclass
+class VerificationResult:
+    """The outcome of one verifier run on one verification problem."""
+
+    status: VerificationStatus
+    verifier: str
+    elapsed_seconds: float = 0.0
+    #: Number of AppVer (bound computation) calls, i.e. visited sub-problems.
+    nodes_explored: int = 0
+    #: Total number of nodes in the final BaB tree (including the root).
+    tree_size: int = 1
+    counterexample: Optional[np.ndarray] = None
+    #: Best (largest) specification-margin lower bound established, if any.
+    bound: Optional[float] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def solved(self) -> bool:
+        """True when the verifier reached a conclusive verdict."""
+        return self.status.is_conclusive
+
+    def check_counterexample(self, network: Network, spec: Specification) -> bool:
+        """Validate that a reported counterexample really violates the spec."""
+        if self.counterexample is None:
+            return False
+        return spec.is_counterexample(network, self.counterexample)
+
+    def summary(self) -> str:
+        parts = [f"{self.verifier}: {self.status.value}",
+                 f"time={self.elapsed_seconds:.3f}s",
+                 f"nodes={self.nodes_explored}"]
+        if self.bound is not None:
+            parts.append(f"bound={self.bound:.4f}")
+        return ", ".join(parts)
+
+
+class Verifier:
+    """Common interface of every complete verifier in the library."""
+
+    #: Human-readable name used in result tables.
+    name: str = "verifier"
+
+    def verify(self, network: Network, spec: Specification,
+               budget: Optional[Budget] = None) -> VerificationResult:
+        """Decide whether ``network`` satisfies ``spec`` within ``budget``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def make_budget(budget: Optional[Budget], default_nodes: int = 2000,
+                default_seconds: Optional[float] = None) -> Budget:
+    """Return a started copy of ``budget`` (or a default one)."""
+    if budget is None:
+        budget = Budget(max_seconds=default_seconds, max_nodes=default_nodes)
+    else:
+        budget = budget.copy()
+    return budget.start()

@@ -1,0 +1,116 @@
+"""Tests for repro.bab.heuristics (ReLU branching heuristics)."""
+
+import numpy as np
+import pytest
+
+from repro.bab.heuristics import (
+    BaBSRHeuristic,
+    BranchingContext,
+    DeepSplitHeuristic,
+    FSBHeuristic,
+    RandomHeuristic,
+    WidestHeuristic,
+    available_heuristics,
+    make_heuristic,
+    output_sensitivities,
+)
+from repro.bounds.splits import ACTIVE, ReluSplit, SplitAssignment
+from repro.specs.robustness import local_robustness_spec
+from repro.verifiers.appver import ApproximateVerifier
+
+ALL_HEURISTICS = ["widest", "babsr", "deepsplit", "fsb", "random"]
+
+
+@pytest.fixture()
+def context(small_network):
+    reference = np.array([0.4, 0.5, 0.6, 0.3])
+    label = int(small_network.predict(reference.reshape(1, -1))[0])
+    spec = local_robustness_spec(reference, 0.25, label, 3)
+    appver = ApproximateVerifier(small_network, spec)
+    outcome = appver.evaluate()
+    return BranchingContext(network=appver.lowered, spec=spec.output_spec,
+                            report=outcome.report, splits=SplitAssignment.empty(),
+                            evaluate_split=lambda splits: appver.evaluate(splits).p_hat)
+
+
+class TestRegistry:
+    def test_all_heuristics_registered(self):
+        assert set(available_heuristics()) == set(ALL_HEURISTICS)
+
+    @pytest.mark.parametrize("name", ALL_HEURISTICS)
+    def test_make_heuristic(self, name):
+        assert make_heuristic(name).name == name
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            make_heuristic("smartest")
+
+
+class TestSelection:
+    @pytest.mark.parametrize("name", ALL_HEURISTICS)
+    def test_selects_an_unstable_neuron(self, name, context):
+        neuron = make_heuristic(name).select(context)
+        assert neuron in context.unstable_neurons()
+
+    @pytest.mark.parametrize("name", ALL_HEURISTICS)
+    def test_returns_none_when_everything_is_decided(self, name, context):
+        splits = SplitAssignment.empty()
+        for layer, unit in context.report.unstable_neurons():
+            splits = splits.with_split(ReluSplit(layer, unit, ACTIVE))
+        leaf_context = BranchingContext(network=context.network, spec=context.spec,
+                                        report=context.report, splits=splits)
+        assert make_heuristic(name).select(leaf_context) is None
+
+    def test_deterministic_heuristics_are_stable(self, context):
+        for name in ("widest", "babsr", "deepsplit"):
+            heuristic = make_heuristic(name)
+            assert heuristic.select(context) == heuristic.select(context)
+
+    def test_widest_picks_maximal_interval(self, context):
+        neuron = WidestHeuristic().select(context)
+        widths = {}
+        for layer, unit in context.unstable_neurons():
+            bounds = context.report.pre_activation_bounds[layer]
+            widths[(layer, unit)] = bounds.upper[unit] - bounds.lower[unit]
+        assert widths[neuron] == pytest.approx(max(widths.values()))
+
+    def test_fsb_without_evaluator_falls_back(self, context):
+        bare = BranchingContext(network=context.network, spec=context.spec,
+                                report=context.report, splits=context.splits)
+        neuron = FSBHeuristic(shortlist_size=3).select(bare)
+        assert neuron in bare.unstable_neurons()
+
+    def test_fsb_with_evaluator_picks_from_shortlist(self, context):
+        heuristic = FSBHeuristic(shortlist_size=2)
+        shortlist_scores = BaBSRHeuristic().scores(context, context.unstable_neurons())
+        order = np.argsort(shortlist_scores)[::-1][:2]
+        shortlist = {context.unstable_neurons()[int(i)] for i in order}
+        assert heuristic.select(context) in shortlist
+
+    def test_random_heuristic_is_seedable(self, context):
+        a = RandomHeuristic(seed=1).select(context)
+        b = RandomHeuristic(seed=1).select(context)
+        assert a == b
+
+
+class TestScores:
+    def test_babsr_scores_nonnegative(self, context):
+        scores = BaBSRHeuristic().scores(context, context.unstable_neurons())
+        assert np.all(scores >= 0.0)
+
+    def test_deepsplit_scores_at_least_direct_term(self, context):
+        unstable = context.unstable_neurons()
+        direct = DeepSplitHeuristic(indirect_weight=0.0).scores(context, unstable)
+        combined = DeepSplitHeuristic(indirect_weight=1.0).scores(context, unstable)
+        assert np.all(combined >= direct - 1e-12)
+
+    def test_negative_indirect_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DeepSplitHeuristic(indirect_weight=-0.5)
+
+    def test_output_sensitivities_shapes(self, context):
+        sensitivities = output_sensitivities(context.network, context.spec, context.report)
+        assert len(sensitivities) == context.network.num_relu_layers
+        for layer, sizes in enumerate(context.network.relu_layer_sizes()):
+            assert sensitivities[layer].shape == (sizes,)
+            assert np.all(sensitivities[layer] >= 0.0)

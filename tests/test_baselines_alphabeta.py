@@ -1,0 +1,79 @@
+"""Tests for repro.baselines.alphabeta_crown."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.alphabeta_crown import AlphaBetaCrownVerifier
+from repro.bounds.alpha_crown import AlphaCrownConfig
+from repro.specs.robustness import local_robustness_spec
+from repro.utils import Budget
+from repro.verifiers.attack import AttackConfig
+from repro.verifiers.milp import MilpVerifier
+from repro.verifiers.result import VerificationStatus
+
+
+def problem(network, reference, epsilon):
+    reference = np.asarray(reference, dtype=float)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    return local_robustness_spec(reference, epsilon, label, network.output_dim)
+
+
+class TestAlphaBetaCrown:
+    def test_verifies_small_epsilon(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 1e-3)
+        result = AlphaBetaCrownVerifier().verify(small_network, spec,
+                                                 Budget(max_nodes=200))
+        assert result.status == VerificationStatus.VERIFIED
+
+    def test_attack_falsifies_fragile_problem_quickly(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(28)
+        spec = local_robustness_spec(image.reshape(-1), 0.9, label, dataset.num_classes)
+        result = AlphaBetaCrownVerifier().verify(network, spec, Budget(max_nodes=300))
+        assert result.status == VerificationStatus.FALSIFIED
+        assert spec.is_counterexample(network, result.counterexample)
+        # The PGD pre-pass should dispatch it within a couple of node charges.
+        assert result.nodes_explored <= 2
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.2])
+    def test_agrees_with_milp_oracle(self, epsilon, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(29)
+        spec = local_robustness_spec(image.reshape(-1), epsilon, label,
+                                     dataset.num_classes)
+        oracle = MilpVerifier().verify(network, spec)
+        result = AlphaBetaCrownVerifier().verify(network, spec, Budget(max_nodes=3000))
+        if result.solved and oracle.solved:
+            assert result.status == oracle.status
+
+    def test_alpha_crown_root_charge_reflected_in_node_count(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(30)
+        spec = local_robustness_spec(image.reshape(-1), 0.05, label, dataset.num_classes)
+        config = AlphaCrownConfig(iterations=4)
+        result = AlphaBetaCrownVerifier(alpha_config=config).verify(
+            network, spec, Budget(max_nodes=500))
+        if result.status == VerificationStatus.VERIFIED and result.tree_size <= 20:
+            # Root-only verification still charges the α-CROWN iterations.
+            assert result.nodes_explored >= 2 + 3 * config.iterations
+
+    def test_respects_budget(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(31)
+        spec = local_robustness_spec(image.reshape(-1), 0.25, label, dataset.num_classes)
+        result = AlphaBetaCrownVerifier().verify(network, spec, Budget(max_nodes=40))
+        assert result.nodes_explored <= 60
+
+    def test_custom_attack_config_is_used(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.05)
+        verifier = AlphaBetaCrownVerifier(attack_config=AttackConfig(steps=2, restarts=1))
+        result = verifier.verify(small_network, spec, Budget(max_nodes=200))
+        assert result.status in (VerificationStatus.VERIFIED, VerificationStatus.FALSIFIED,
+                                 VerificationStatus.TIMEOUT)
+
+    def test_extras_record_configuration(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.05)
+        result = AlphaBetaCrownVerifier(heuristic="babsr").verify(
+            small_network, spec, Budget(max_nodes=200))
+        assert result.extras["heuristic"] == "babsr"
+        assert "alpha_iterations" in result.extras

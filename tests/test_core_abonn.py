@@ -1,0 +1,137 @@
+"""Tests for repro.core.abonn (the ABONN verifier, Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.abonn import AbonnVerifier
+from repro.core.config import AbonnConfig
+from repro.specs.robustness import local_robustness_spec
+from repro.utils import Budget
+from repro.verifiers.milp import MilpVerifier
+from repro.verifiers.result import VerificationStatus
+
+
+def problem(network, reference, epsilon):
+    reference = np.asarray(reference, dtype=float)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    return local_robustness_spec(reference, epsilon, label, network.output_dim)
+
+
+class TestAbonnVerdicts:
+    def test_verifies_small_epsilon_at_root(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 1e-3)
+        result = AbonnVerifier().verify(small_network, spec, Budget(max_nodes=100))
+        assert result.status == VerificationStatus.VERIFIED
+        assert result.nodes_explored == 1
+
+    def test_falsifies_with_valid_counterexample(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(12)
+        spec = local_robustness_spec(image.reshape(-1), 0.9, label, dataset.num_classes)
+        result = AbonnVerifier().verify(network, spec, Budget(max_nodes=500))
+        assert result.status == VerificationStatus.FALSIFIED
+        assert spec.is_counterexample(network, result.counterexample)
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.15, 0.3])
+    def test_agrees_with_milp_oracle(self, epsilon, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(13)
+        spec = local_robustness_spec(image.reshape(-1), epsilon, label,
+                                     dataset.num_classes)
+        oracle = MilpVerifier().verify(network, spec)
+        result = AbonnVerifier().verify(network, spec, Budget(max_nodes=3000))
+        if result.solved and oracle.solved:
+            assert result.status == oracle.status
+
+    def test_agrees_with_bab_baseline_verdicts(self, trained_network):
+        from repro.bab import BaBBaselineVerifier
+
+        network, dataset = trained_network
+        for index in (14, 15, 16):
+            image, label = dataset.sample(index)
+            spec = local_robustness_spec(image.reshape(-1), 0.12, label,
+                                         dataset.num_classes)
+            abonn = AbonnVerifier().verify(network, spec, Budget(max_nodes=2000))
+            baseline = BaBBaselineVerifier().verify(network, spec, Budget(max_nodes=2000))
+            if abonn.solved and baseline.solved:
+                assert abonn.status == baseline.status
+
+
+class TestBudgetsAndStatistics:
+    def test_respects_node_budget(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(17)
+        spec = local_robustness_spec(image.reshape(-1), 0.2, label, dataset.num_classes)
+        result = AbonnVerifier().verify(network, spec, Budget(max_nodes=15))
+        assert result.nodes_explored <= 20
+
+    def test_timeout_status_when_budget_exhausted(self, trained_network):
+        network, dataset = trained_network
+        statuses = []
+        for index in range(18, 24):
+            image, label = dataset.sample(index)
+            spec = local_robustness_spec(image.reshape(-1), 0.25, label,
+                                         dataset.num_classes)
+            result = AbonnVerifier().verify(network, spec, Budget(max_nodes=3))
+            statuses.append(result.status)
+        assert all(status in (VerificationStatus.TIMEOUT, VerificationStatus.VERIFIED,
+                              VerificationStatus.FALSIFIED) for status in statuses)
+
+    def test_extras_record_hyperparameters(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.15)
+        config = AbonnConfig(lam=0.7, exploration=0.3, heuristic="babsr")
+        result = AbonnVerifier(config).verify(small_network, spec, Budget(max_nodes=100))
+        assert result.extras["lambda"] == pytest.approx(0.7)
+        assert result.extras["exploration"] == pytest.approx(0.3)
+        assert result.extras["heuristic"] == "babsr"
+
+    def test_tree_size_equals_appver_calls(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.2)
+        result = AbonnVerifier().verify(small_network, spec, Budget(max_nodes=200))
+        assert result.tree_size == result.nodes_explored
+
+
+class TestHyperparameters:
+    @pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("exploration", [0.0, 0.5])
+    def test_verdicts_are_hyperparameter_independent(self, lam, exploration,
+                                                     trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(25)
+        spec = local_robustness_spec(image.reshape(-1), 0.1, label, dataset.num_classes)
+        config = AbonnConfig(lam=lam, exploration=exploration)
+        result = AbonnVerifier(config).verify(network, spec, Budget(max_nodes=2000))
+        reference = AbonnVerifier().verify(network, spec, Budget(max_nodes=2000))
+        if result.solved and reference.solved:
+            assert result.status == reference.status
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            AbonnConfig(lam=1.5)
+
+    def test_invalid_exploration_rejected(self):
+        with pytest.raises(ValueError):
+            AbonnConfig(exploration=-0.1)
+
+    def test_without_lp_leaf_refinement_never_contradicts_oracle(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(26)
+        spec = local_robustness_spec(image.reshape(-1), 0.3, label, dataset.num_classes)
+        oracle = MilpVerifier().verify(network, spec)
+        config = AbonnConfig(lp_leaf_refinement=False)
+        result = AbonnVerifier(config).verify(network, spec, Budget(max_nodes=2000))
+        if oracle.status == VerificationStatus.FALSIFIED:
+            assert result.status != VerificationStatus.VERIFIED
+        if oracle.status == VerificationStatus.VERIFIED:
+            assert result.status != VerificationStatus.FALSIFIED
+
+    @pytest.mark.parametrize("bound_method", ["deeppoly", "ibp"])
+    def test_bound_methods_agree_on_verdict(self, bound_method, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(27)
+        spec = local_robustness_spec(image.reshape(-1), 0.08, label, dataset.num_classes)
+        config = AbonnConfig(bound_method=bound_method)
+        result = AbonnVerifier(config).verify(network, spec, Budget(max_nodes=3000))
+        reference = AbonnVerifier().verify(network, spec, Budget(max_nodes=3000))
+        if result.solved and reference.solved:
+            assert result.status == reference.status

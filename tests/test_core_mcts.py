@@ -1,0 +1,141 @@
+"""Tests for repro.core.mcts (reward/visit bookkeeping and UCB1 selection)."""
+
+import math
+
+import pytest
+
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.core.mcts import (
+    MctsNode,
+    propagate_rewards,
+    propagate_sizes,
+    select_child,
+    ucb1_score,
+)
+
+
+def make_node(reward=0.0, depth=0, parent=None, subtree_size=1):
+    node = MctsNode(SplitAssignment.empty(), depth=depth, outcome=None,
+                    reward=reward, parent=parent)
+    node.subtree_size = subtree_size
+    return node
+
+
+def attach_children(parent, reward_plus, reward_minus, size_plus=1, size_minus=1):
+    plus = make_node(reward=reward_plus, depth=parent.depth + 1, parent=parent,
+                     subtree_size=size_plus)
+    minus = make_node(reward=reward_minus, depth=parent.depth + 1, parent=parent,
+                      subtree_size=size_minus)
+    parent.children[ACTIVE] = plus
+    parent.children[INACTIVE] = minus
+    parent.subtree_size = 1 + size_plus + size_minus
+    return plus, minus
+
+
+class TestUcb1:
+    def test_formula(self):
+        expected = 0.4 + 0.2 * math.sqrt(2 * math.log(9) / 3)
+        assert ucb1_score(0.4, 9, 3, 0.2) == pytest.approx(expected)
+
+    def test_zero_exploration_is_pure_exploitation(self):
+        assert ucb1_score(0.7, 100, 1, 0.0) == pytest.approx(0.7)
+
+    def test_verified_child_is_never_selected(self):
+        assert ucb1_score(float("-inf"), 10, 1, 10.0) == float("-inf")
+
+    def test_falsified_child_dominates(self):
+        assert ucb1_score(float("inf"), 10, 5, 0.2) == float("inf")
+
+    def test_less_visited_child_gets_larger_bonus(self):
+        rare = ucb1_score(0.5, 100, 1, 0.3)
+        frequent = ucb1_score(0.5, 100, 50, 0.3)
+        assert rare > frequent
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ucb1_score(0.5, 0, 1, 0.2)
+
+
+class TestSelectChild:
+    def test_prefers_higher_reward_without_exploration(self):
+        root = make_node()
+        plus, minus = attach_children(root, reward_plus=0.9, reward_minus=0.4)
+        assert select_child(root, exploration=0.0) is plus
+
+    def test_exploration_can_flip_the_choice(self):
+        root = make_node()
+        # The + child has slightly higher reward but has been visited a lot.
+        plus, minus = attach_children(root, reward_plus=0.55, reward_minus=0.5,
+                                      size_plus=200, size_minus=1)
+        root.subtree_size = 202
+        assert select_child(root, exploration=0.0) is plus
+        assert select_child(root, exploration=1.0) is minus
+
+    def test_all_children_verified_returns_none(self):
+        root = make_node()
+        attach_children(root, float("-inf"), float("-inf"))
+        assert select_child(root, exploration=0.5) is None
+
+    def test_tie_breaks_towards_active_child(self):
+        root = make_node()
+        plus, _ = attach_children(root, reward_plus=0.5, reward_minus=0.5)
+        assert select_child(root, exploration=0.0) is plus
+
+    def test_unexpanded_node_rejected(self):
+        with pytest.raises(ValueError):
+            select_child(make_node(), exploration=0.1)
+
+
+class TestPropagation:
+    def test_sizes_propagate_to_ancestors(self):
+        root = make_node()
+        plus, minus = attach_children(root, 0.1, 0.2)
+        grandchild_parent = plus
+        propagate_sizes(grandchild_parent, 2)
+        assert grandchild_parent.subtree_size == 3
+        assert root.subtree_size == 5
+
+    def test_rewards_propagate_as_max_of_children(self):
+        root = make_node(reward=0.0)
+        plus, minus = attach_children(root, 0.3, 0.8)
+        propagate_rewards(root)
+        assert root.reward == pytest.approx(0.8)
+
+    def test_counterexample_bubbles_up(self):
+        root = make_node()
+        plus, minus = attach_children(root, 0.3, float("inf"))
+        minus.counterexample = "witness"
+        propagate_rewards(root)
+        assert root.reward == float("inf")
+        assert root.counterexample == "witness"
+
+    def test_refresh_without_children_is_noop(self):
+        node = make_node(reward=0.42)
+        node.refresh_from_children()
+        assert node.reward == pytest.approx(0.42)
+
+    def test_descendants(self):
+        root = make_node()
+        plus, minus = attach_children(root, 0.1, 0.2)
+        descendants = root.descendants()
+        assert len(descendants) == 3
+        for node in (root, plus, minus):
+            assert any(node is candidate for candidate in descendants)
+
+
+class TestNodeAccessors:
+    def test_child_lookup(self):
+        root = make_node()
+        plus, minus = attach_children(root, 0.1, 0.2)
+        assert root.child(ACTIVE) is plus
+        assert root.child(INACTIVE) is minus
+
+    def test_missing_child_rejected(self):
+        with pytest.raises(ValueError):
+            make_node().child(ACTIVE)
+
+    def test_is_root_and_expanded_flags(self):
+        root = make_node()
+        assert root.is_root and not root.is_expanded
+        plus, _ = attach_children(root, 0.1, 0.2)
+        assert root.is_expanded and not plus.is_root

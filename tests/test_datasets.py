@@ -1,0 +1,101 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, make_blob_dataset, make_stripe_dataset, train_test_split
+
+
+class TestBlobDataset:
+    def test_shapes_and_range(self):
+        dataset = make_blob_dataset(count=50, size=7, num_classes=4, seed=0)
+        assert dataset.inputs.shape == (50, 1, 7, 7)
+        assert dataset.labels.shape == (50,)
+        assert dataset.inputs.min() >= 0.0 and dataset.inputs.max() <= 1.0
+
+    def test_labels_cover_all_classes(self):
+        dataset = make_blob_dataset(count=40, num_classes=4, seed=1)
+        assert set(dataset.labels) == {0, 1, 2, 3}
+
+    def test_deterministic_for_seed(self):
+        a = make_blob_dataset(count=20, seed=5)
+        b = make_blob_dataset(count=20, seed=5)
+        np.testing.assert_allclose(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_blob_dataset(count=20, seed=1)
+        b = make_blob_dataset(count=20, seed=2)
+        assert not np.allclose(a.inputs, b.inputs)
+
+    def test_classes_are_separable_without_noise(self):
+        dataset = make_blob_dataset(count=40, num_classes=3, noise=0.0, seed=0)
+        # Prototypes of distinct classes must differ substantially.
+        class_means = [dataset.inputs[dataset.labels == c].mean(axis=0)
+                       for c in range(3)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.abs(class_means[i] - class_means[j]).max() > 0.2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_blob_dataset(count=0)
+        with pytest.raises(ValueError):
+            make_blob_dataset(noise=-0.1)
+
+
+class TestStripeDataset:
+    def test_shapes(self):
+        dataset = make_stripe_dataset(count=30, size=8, channels=3, num_classes=4, seed=0)
+        assert dataset.inputs.shape == (30, 3, 8, 8)
+        assert dataset.num_classes == 4
+
+    def test_values_in_unit_interval(self):
+        dataset = make_stripe_dataset(count=30, seed=0)
+        assert dataset.inputs.min() >= 0.0 and dataset.inputs.max() <= 1.0
+
+    def test_deterministic(self):
+        a = make_stripe_dataset(count=16, seed=9)
+        b = make_stripe_dataset(count=16, seed=9)
+        np.testing.assert_allclose(a.inputs, b.inputs)
+
+
+class TestDatasetContainer:
+    def test_sample_returns_pair(self):
+        dataset = make_blob_dataset(count=10, seed=0)
+        image, label = dataset.sample(3)
+        assert image.shape == dataset.image_shape
+        assert isinstance(label, int)
+
+    def test_sample_out_of_range(self):
+        dataset = make_blob_dataset(count=10, seed=0)
+        with pytest.raises(ValueError):
+            dataset.sample(10)
+
+    def test_subset(self):
+        dataset = make_blob_dataset(count=10, seed=0)
+        subset = dataset.subset(np.array([0, 2, 4]))
+        assert subset.count == 3
+        np.testing.assert_allclose(subset.inputs[1], dataset.inputs[2])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2, 2)), np.zeros(4, dtype=int), 2, "bad")
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        dataset = make_blob_dataset(count=50, seed=0)
+        train, test = train_test_split(dataset, train_fraction=0.8, seed=0)
+        assert train.count == 40 and test.count == 10
+
+    def test_disjoint_cover(self):
+        dataset = make_blob_dataset(count=30, seed=0)
+        train, test = train_test_split(dataset, train_fraction=0.7, seed=1)
+        combined = np.concatenate([train.inputs, test.inputs])
+        assert combined.shape[0] == dataset.count
+
+    def test_invalid_fraction_rejected(self):
+        dataset = make_blob_dataset(count=10, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, train_fraction=1.0)

@@ -1,0 +1,119 @@
+"""Cross-verifier integration tests: all complete verifiers must agree.
+
+These tests are the library's strongest correctness argument: for a set of
+randomly generated and trained networks and a spread of perturbation radii,
+the verdicts of ABONN, BaB-baseline, the αβ-CROWN-like baseline and the MILP
+oracle must never contradict each other, and every reported counterexample
+must be a real one.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AbonnConfig,
+    AbonnVerifier,
+    AlphaBetaCrownVerifier,
+    BaBBaselineVerifier,
+    Budget,
+    MilpVerifier,
+    dense_network,
+    local_robustness_spec,
+)
+from repro.verifiers.result import VerificationStatus
+
+
+def make_problem(seed, epsilon):
+    rng = np.random.default_rng(seed)
+    network = dense_network([4, 7, 6, 3], seed=seed)
+    reference = rng.random(4)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    spec = local_robustness_spec(reference, epsilon, label, 3,
+                                 name=f"random-{seed}-{epsilon}")
+    return network, spec
+
+
+ALL_VERIFIERS = {
+    "ABONN": lambda: AbonnVerifier(),
+    "ABONN-exploit": lambda: AbonnVerifier(AbonnConfig(exploration=0.0)),
+    "BaB-baseline": lambda: BaBBaselineVerifier(),
+    "alpha-beta-CROWN": lambda: AlphaBetaCrownVerifier(),
+}
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37])
+@pytest.mark.parametrize("epsilon", [0.05, 0.2, 0.35])
+def test_all_verifiers_agree_with_milp(seed, epsilon):
+    network, spec = make_problem(seed, epsilon)
+    oracle = MilpVerifier().verify(network, spec)
+    assert oracle.solved, "the MILP oracle must decide these tiny problems"
+    for name, factory in ALL_VERIFIERS.items():
+        result = factory().verify(network, spec, Budget(max_nodes=4000))
+        assert result.solved, f"{name} should decide this tiny problem"
+        assert result.status == oracle.status, f"{name} contradicts the MILP oracle"
+        if result.status == VerificationStatus.FALSIFIED:
+            assert result.check_counterexample(network, spec), \
+                f"{name} reported a spurious counterexample"
+
+
+@pytest.mark.parametrize("epsilon", [0.08, 0.5])
+def test_all_verifiers_agree_on_trained_network(epsilon, trained_network):
+    """Agreement also holds on a trained classifier, including violated problems."""
+    from repro.specs import local_robustness_spec as build_spec
+
+    network, dataset = trained_network
+    image, label = dataset.sample(33)
+    spec = build_spec(image.reshape(-1), epsilon, label, dataset.num_classes)
+    oracle = MilpVerifier().verify(network, spec)
+    if not oracle.solved:
+        pytest.skip("oracle could not decide the problem")
+    for name, factory in ALL_VERIFIERS.items():
+        result = factory().verify(network, spec, Budget(max_nodes=4000))
+        if not result.solved:
+            continue  # a timeout is acceptable; a contradiction is not
+        assert result.status == oracle.status, f"{name} contradicts the MILP oracle"
+        if result.status == VerificationStatus.FALSIFIED:
+            assert result.check_counterexample(network, spec)
+
+
+def test_verdict_monotone_in_epsilon():
+    """If a radius is falsified, every larger radius must also be falsified."""
+    network, _ = make_problem(5, 0.1)
+    reference = np.full(4, 0.5)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    statuses = []
+    for epsilon in (0.02, 0.1, 0.3, 0.6):
+        spec = local_robustness_spec(reference, epsilon, label, 3)
+        result = AbonnVerifier().verify(network, spec, Budget(max_nodes=4000))
+        statuses.append(result.status)
+    seen_falsified = False
+    for status in statuses:
+        if status == VerificationStatus.FALSIFIED:
+            seen_falsified = True
+        if seen_falsified and status.is_conclusive:
+            assert status == VerificationStatus.FALSIFIED
+
+
+def test_vnnlib_roundtrip_preserves_verdict(tmp_path):
+    """Saving and reloading the spec through VNN-LIB must not change the verdict."""
+    from repro import load_vnnlib, save_vnnlib
+
+    network, spec = make_problem(42, 0.25)
+    direct = AbonnVerifier().verify(network, spec, Budget(max_nodes=2000))
+    path = tmp_path / "problem.vnnlib"
+    save_vnnlib(spec, path)
+    reloaded = load_vnnlib(path)
+    roundtrip = AbonnVerifier().verify(network, reloaded, Budget(max_nodes=2000))
+    if direct.solved and roundtrip.solved:
+        assert direct.status == roundtrip.status
+
+
+def test_conv_network_end_to_end(conv_network):
+    """The whole stack works for convolutional networks as well."""
+    reference = np.full(36, 0.5)
+    label = int(conv_network.predict(reference.reshape(1, 1, 6, 6))[0])
+    spec = local_robustness_spec(reference, 0.05, label, 3)
+    oracle = MilpVerifier().verify(conv_network, spec)
+    result = AbonnVerifier().verify(conv_network, spec, Budget(max_nodes=2000))
+    if oracle.solved and result.solved:
+        assert oracle.status == result.status

@@ -1,0 +1,83 @@
+"""Tests for repro.nn.zoo (the five benchmark model families)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import (
+    FAMILY_ORDER,
+    MODEL_FAMILIES,
+    build_trained_model,
+    clear_model_cache,
+    family,
+)
+
+
+class TestFamilyRegistry:
+    def test_five_families_match_the_paper(self):
+        assert set(FAMILY_ORDER) == {"MNIST_L2", "MNIST_L4", "CIFAR_BASE",
+                                     "CIFAR_WIDE", "CIFAR_DEEP"}
+        assert set(MODEL_FAMILIES) == set(FAMILY_ORDER)
+
+    def test_family_lookup(self):
+        assert family("MNIST_L2").name == "MNIST_L2"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            family("MNIST_L8")
+
+    def test_dense_families_use_blob_dataset(self):
+        assert family("MNIST_L2").dataset_name == family("MNIST_L4").dataset_name
+
+    def test_conv_families_use_stripe_dataset(self):
+        assert family("CIFAR_BASE").dataset_name.startswith("stripes")
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize("name", FAMILY_ORDER)
+    def test_network_builds_and_runs(self, name):
+        spec = family(name)
+        dataset = spec.build_dataset(0)
+        network = spec.build_network(dataset, 0)
+        out = network.forward(dataset.inputs[:4])
+        assert out.shape == (4, dataset.num_classes)
+
+    def test_mnist_l4_is_deeper_than_l2(self):
+        dataset = family("MNIST_L2").build_dataset(0)
+        l2 = family("MNIST_L2").build_network(dataset, 0)
+        l4 = family("MNIST_L4").build_network(dataset, 0)
+        assert l4.lowered().num_relu_layers > l2.lowered().num_relu_layers
+
+    def test_cifar_deep_has_more_relu_layers_than_base(self):
+        dataset = family("CIFAR_BASE").build_dataset(0)
+        base = family("CIFAR_BASE").build_network(dataset, 0)
+        deep = family("CIFAR_DEEP").build_network(dataset, 0)
+        assert deep.lowered().num_relu_layers > base.lowered().num_relu_layers
+
+    def test_cifar_wide_has_more_neurons_than_base(self):
+        dataset = family("CIFAR_BASE").build_dataset(0)
+        base = family("CIFAR_BASE").build_network(dataset, 0)
+        wide = family("CIFAR_WIDE").build_network(dataset, 0)
+        assert wide.num_relu_neurons > base.num_relu_neurons
+
+
+class TestTrainedModels:
+    def test_trained_model_beats_chance(self):
+        network, dataset = build_trained_model("MNIST_L2", seed=0)
+        predictions = network.predict(dataset.inputs)
+        assert np.mean(predictions == dataset.labels) > 0.5
+
+    def test_cache_returns_same_object(self):
+        first = build_trained_model("MNIST_L2", seed=0)
+        second = build_trained_model("MNIST_L2", seed=0)
+        assert first[0] is second[0]
+
+    def test_cache_can_be_bypassed(self):
+        cached = build_trained_model("MNIST_L2", seed=0)
+        fresh = build_trained_model("MNIST_L2", seed=0, use_cache=False)
+        assert cached[0] is not fresh[0]
+
+    def test_clear_cache(self):
+        first = build_trained_model("MNIST_L2", seed=0)
+        clear_model_cache()
+        second = build_trained_model("MNIST_L2", seed=0)
+        assert first[0] is not second[0]

@@ -1,0 +1,68 @@
+"""Tests for repro.specs.robustness."""
+
+import numpy as np
+import pytest
+
+from repro.specs.robustness import local_robustness_spec, robustness_output_spec
+
+
+class TestRobustnessOutputSpec:
+    def test_untargeted_has_one_constraint_per_competitor(self):
+        spec = robustness_output_spec(num_classes=5, label=2)
+        assert spec.num_constraints == 4
+        assert spec.output_dim == 5
+
+    def test_targeted_has_single_constraint(self):
+        spec = robustness_output_spec(num_classes=5, label=2, target=4)
+        assert spec.num_constraints == 1
+
+    def test_margin_is_logit_gap(self):
+        spec = robustness_output_spec(num_classes=3, label=0)
+        logits = np.array([2.0, 1.5, -1.0])
+        assert spec.margin(logits) == pytest.approx(0.5)
+
+    def test_violated_when_other_class_wins(self):
+        spec = robustness_output_spec(num_classes=3, label=0)
+        assert not spec.satisfied(np.array([0.0, 1.0, -1.0]))
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            robustness_output_spec(num_classes=3, label=3)
+
+    def test_target_equal_to_label_rejected(self):
+        with pytest.raises(ValueError):
+            robustness_output_spec(num_classes=3, label=1, target=1)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            robustness_output_spec(num_classes=1, label=0)
+
+
+class TestLocalRobustnessSpec:
+    def test_box_is_clipped_linf_ball(self):
+        reference = np.array([0.1, 0.9, 0.5])
+        spec = local_robustness_spec(reference, 0.2, label=0, num_classes=3)
+        np.testing.assert_allclose(spec.input_box.lower, [0.0, 0.7, 0.3])
+        np.testing.assert_allclose(spec.input_box.upper, [0.3, 1.0, 0.7])
+
+    def test_metadata_recorded(self):
+        reference = np.zeros(4)
+        spec = local_robustness_spec(reference, 0.1, label=1, num_classes=3, target=2)
+        assert spec.metadata["epsilon"] == pytest.approx(0.1)
+        assert spec.metadata["label"] == 1
+        assert spec.metadata["target"] == 2
+        assert spec.metadata["kind"] == "local_robustness"
+
+    def test_default_name_mentions_epsilon(self):
+        spec = local_robustness_spec(np.zeros(2), 0.25, label=0, num_classes=2)
+        assert "0.25" in spec.name
+
+    def test_custom_domain(self):
+        spec = local_robustness_spec(np.zeros(2), 0.5, label=0, num_classes=2,
+                                     domain_lower=-1.0, domain_upper=1.0)
+        np.testing.assert_allclose(spec.input_box.lower, [-0.5, -0.5])
+
+    def test_reference_flattened(self):
+        reference = np.zeros((2, 2))
+        spec = local_robustness_spec(reference, 0.1, label=0, num_classes=2)
+        assert spec.input_dim == 4

@@ -1,0 +1,144 @@
+"""Tests for repro.specs.vnnlib (parser and writer)."""
+
+import numpy as np
+import pytest
+
+from repro.specs.properties import InputBox, LinearOutputSpec, Specification
+from repro.specs.robustness import local_robustness_spec
+from repro.specs.vnnlib import (
+    VnnLibError,
+    load_vnnlib,
+    parse_vnnlib,
+    save_vnnlib,
+    specification_to_vnnlib,
+)
+
+ROBUSTNESS_EXAMPLE = """
+; a 2-input, 3-output robustness property (label 0)
+(declare-const X_0 Real)
+(declare-const X_1 Real)
+(declare-const Y_0 Real)
+(declare-const Y_1 Real)
+(declare-const Y_2 Real)
+
+(assert (>= X_0 0.1))
+(assert (<= X_0 0.3))
+(assert (>= X_1 0.4))
+(assert (<= X_1 0.6))
+
+(assert (or (and (<= Y_0 Y_1)) (and (<= Y_0 Y_2))))
+"""
+
+
+class TestParsing:
+    def test_input_box(self):
+        parsed = parse_vnnlib(ROBUSTNESS_EXAMPLE)
+        np.testing.assert_allclose(parsed.input_lower, [0.1, 0.4])
+        np.testing.assert_allclose(parsed.input_upper, [0.3, 0.6])
+
+    def test_counts(self):
+        parsed = parse_vnnlib(ROBUSTNESS_EXAMPLE)
+        assert parsed.num_inputs == 2
+        assert parsed.num_outputs == 3
+        assert len(parsed.unsafe_disjuncts) == 2
+
+    def test_specification_semantics(self):
+        spec = parse_vnnlib(ROBUSTNESS_EXAMPLE).to_specification()
+        # Safe when Y_0 strictly dominates the others.
+        assert spec.output_spec.satisfied(np.array([2.0, 1.0, 0.0]))
+        # Unsafe (violated) when some other class wins.
+        assert not spec.output_spec.satisfied(np.array([0.0, 1.0, -1.0]))
+
+    def test_reversed_bound_direction(self):
+        text = ROBUSTNESS_EXAMPLE.replace("(assert (>= X_0 0.1))", "(assert (<= 0.1 X_0))")
+        parsed = parse_vnnlib(text)
+        np.testing.assert_allclose(parsed.input_lower[0], 0.1)
+
+    def test_comments_ignored(self):
+        parsed = parse_vnnlib("; leading comment\n" + ROBUSTNESS_EXAMPLE)
+        assert parsed.num_inputs == 2
+
+    def test_constant_output_constraint(self):
+        text = """
+(declare-const X_0 Real)
+(declare-const Y_0 Real)
+(assert (>= X_0 0.0))
+(assert (<= X_0 1.0))
+(assert (>= Y_0 3.5))
+"""
+        spec = parse_vnnlib(text).to_specification()
+        # The unsafe region is Y_0 >= 3.5, so the property is Y_0 <= 3.5.
+        assert spec.output_spec.satisfied(np.array([3.0]))
+        assert not spec.output_spec.satisfied(np.array([4.0]))
+
+    def test_missing_input_bound_rejected(self):
+        text = """
+(declare-const X_0 Real)
+(declare-const Y_0 Real)
+(assert (>= X_0 0.0))
+(assert (>= Y_0 1.0))
+"""
+        with pytest.raises(VnnLibError):
+            parse_vnnlib(text)
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(VnnLibError):
+            parse_vnnlib("(assert (>= X_0 0.0)")
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(VnnLibError):
+            parse_vnnlib("(declare-const X_0 Real)\n(assert (>= X_0 0.0))")
+
+    def test_multi_atom_disjunct_rejected_on_conversion(self):
+        text = """
+(declare-const X_0 Real)
+(declare-const Y_0 Real)
+(declare-const Y_1 Real)
+(assert (>= X_0 0.0))
+(assert (<= X_0 1.0))
+(assert (or (and (<= Y_0 Y_1) (<= Y_0 0.5))))
+"""
+        parsed = parse_vnnlib(text)
+        with pytest.raises(VnnLibError):
+            parsed.to_specification()
+
+    def test_no_output_constraints_rejected_on_conversion(self):
+        text = """
+(declare-const X_0 Real)
+(declare-const Y_0 Real)
+(assert (>= X_0 0.0))
+(assert (<= X_0 1.0))
+"""
+        with pytest.raises(VnnLibError):
+            parse_vnnlib(text).to_specification()
+
+
+class TestWriting:
+    def test_roundtrip_robustness_spec(self, tmp_path):
+        reference = np.array([0.3, 0.6, 0.5])
+        original = local_robustness_spec(reference, 0.1, label=1, num_classes=3)
+        path = tmp_path / "prop.vnnlib"
+        save_vnnlib(original, path)
+        restored = load_vnnlib(path)
+        np.testing.assert_allclose(restored.input_box.lower, original.input_box.lower)
+        np.testing.assert_allclose(restored.input_box.upper, original.input_box.upper)
+        # Same satisfaction behaviour on a few outputs.
+        for logits in (np.array([0.0, 1.0, 0.5]), np.array([2.0, 0.0, 0.0]),
+                       np.array([0.0, 0.3, 0.8])):
+            assert (restored.output_spec.satisfied(logits)
+                    == original.output_spec.satisfied(logits))
+
+    def test_single_output_constraint_written(self, tmp_path):
+        spec = Specification(InputBox([0.0], [1.0]),
+                             LinearOutputSpec(np.array([[1.0]]), np.array([-2.0])))
+        text = specification_to_vnnlib(spec)
+        assert "Y_0" in text
+        restored = parse_vnnlib(text).to_specification()
+        assert restored.output_spec.satisfied(np.array([3.0]))
+        assert not restored.output_spec.satisfied(np.array([1.0]))
+
+    def test_unwritable_constraint_rejected(self):
+        spec = Specification(InputBox([0.0], [1.0]),
+                             LinearOutputSpec(np.array([[1.0, 2.0]]), np.array([0.0])))
+        with pytest.raises(VnnLibError):
+            specification_to_vnnlib(spec)

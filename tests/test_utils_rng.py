@@ -1,0 +1,59 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_seed, spawn_rng
+
+
+class TestAsRng:
+    def test_none_gives_deterministic_generator(self):
+        first = as_rng(None).random(5)
+        second = as_rng(None).random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_integer_seed_is_deterministic(self):
+        np.testing.assert_allclose(as_rng(42).random(4), as_rng(42).random(4))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_rng(1).random(8), as_rng(2).random(8))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert as_rng(generator) is generator
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(as_rng(0), 4)
+        assert len(children) == 4
+
+    def test_spawn_children_are_independent(self):
+        children = spawn_rng(as_rng(0), 2)
+        assert not np.allclose(children[0].random(6), children[1].random(6))
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rng(as_rng(0), 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic_for_strings(self):
+        assert derive_seed(0, "MNIST_L2") == derive_seed(0, "MNIST_L2")
+
+    def test_different_components_differ(self):
+        assert derive_seed(0, "MNIST_L2") != derive_seed(0, "CIFAR_BASE")
+
+    def test_different_base_seeds_differ(self):
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+
+    def test_accepts_integers(self):
+        assert derive_seed(5, 7, 9) == derive_seed(5, 7, 9)
+
+    def test_result_in_int32_range(self):
+        for seed in range(20):
+            value = derive_seed(seed, "family", seed * 3)
+            assert 0 <= value < 2**31 - 1

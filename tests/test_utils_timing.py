@@ -1,0 +1,70 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Budget, Stopwatch
+
+
+class TestStopwatch:
+    def test_elapsed_increases_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        assert watch.elapsed > 0.0
+
+    def test_stop_freezes_elapsed(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        frozen = watch.stop()
+        time.sleep(0.005)
+        assert watch.elapsed == pytest.approx(frozen)
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.005)
+        assert watch.elapsed > 0.0
+
+
+class TestBudget:
+    def test_node_budget_exhaustion(self):
+        budget = Budget(max_nodes=3).start()
+        assert not budget.exhausted()
+        budget.charge_node(3)
+        assert budget.exhausted()
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = Budget().start()
+        budget.charge_node(10_000)
+        assert not budget.exhausted()
+
+    def test_time_budget(self):
+        budget = Budget(max_seconds=0.001).start()
+        time.sleep(0.01)
+        assert budget.exhausted()
+
+    def test_remaining_nodes(self):
+        budget = Budget(max_nodes=10).start()
+        budget.charge_node(4)
+        assert budget.remaining_nodes() == 6
+
+    def test_remaining_nodes_unlimited(self):
+        assert Budget().remaining_nodes() is None
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Budget().charge_node(-1)
+
+    def test_copy_resets_consumption(self):
+        budget = Budget(max_nodes=5).start()
+        budget.charge_node(5)
+        fresh = budget.copy()
+        assert fresh.nodes == 0
+        assert fresh.max_nodes == 5
+        assert not fresh.start().exhausted()

@@ -1,0 +1,39 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import require, require_finite_array, require_shape
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestRequireFiniteArray:
+    def test_accepts_finite(self):
+        out = require_finite_array([1, 2, 3], "x")
+        assert out.dtype == float
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            require_finite_array([1.0, np.nan], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            require_finite_array([np.inf], "x")
+
+
+class TestRequireShape:
+    def test_accepts_exact_shape(self):
+        out = require_shape(np.zeros((2, 3)), (2, 3), "m")
+        assert out.shape == (2, 3)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            require_shape(np.zeros((2, 3)), (3, 2), "m")

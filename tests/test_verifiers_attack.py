@@ -1,0 +1,119 @@
+"""Tests for repro.verifiers.attack (FGSM / PGD falsification substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.specs.robustness import local_robustness_spec
+from repro.verifiers.attack import (
+    AttackConfig,
+    empirical_robustness_radius,
+    fgsm,
+    margin_and_gradient,
+    pgd_attack,
+)
+
+
+def problem(network, reference, epsilon):
+    reference = np.asarray(reference, dtype=float)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    return local_robustness_spec(reference, epsilon, label, network.output_dim)
+
+
+class TestMarginAndGradient:
+    def test_margin_matches_spec(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.1)
+        point = spec.input_box.center
+        margin, _ = margin_and_gradient(small_network, spec.output_spec, point)
+        output = small_network.forward(point.reshape(1, -1))[0]
+        assert margin == pytest.approx(spec.output_spec.margin(output))
+
+    def test_gradient_matches_numerical(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.1)
+        point = spec.input_box.center + 1e-3  # avoid kinks right at the centre
+        _, gradient = margin_and_gradient(small_network, spec.output_spec, point)
+        numeric = np.zeros_like(point)
+        eps = 1e-6
+        for index in range(point.size):
+            perturbed = point.copy()
+            perturbed[index] += eps
+            up, _ = margin_and_gradient(small_network, spec.output_spec, perturbed)
+            perturbed[index] -= 2 * eps
+            down, _ = margin_and_gradient(small_network, spec.output_spec, perturbed)
+            numeric[index] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(gradient, numeric, atol=1e-4)
+
+
+class TestPgdAttack:
+    def test_finds_counterexample_on_fragile_problem(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(0)
+        reference = image.reshape(-1)
+        # A huge radius always contains an adversarial example for a
+        # multi-class classifier that is not constant.
+        spec = local_robustness_spec(reference, 0.9, label, dataset.num_classes)
+        result = pgd_attack(network, spec, AttackConfig(steps=40, restarts=4, seed=0))
+        assert result.is_counterexample
+        assert spec.input_box.contains(result.best_input)
+        assert spec.is_counterexample(network, result.best_input)
+
+    def test_reports_best_margin_even_when_robust(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.01)
+        result = pgd_attack(small_network, spec, AttackConfig(steps=5, restarts=2))
+        assert result.best_margin >= 0.0
+        assert spec.input_box.contains(result.best_input)
+
+    def test_result_stays_in_box(self, small_network):
+        spec = problem(small_network, [0.05, 0.95, 0.5, 0.2], 0.3)
+        result = pgd_attack(small_network, spec, AttackConfig(steps=15, restarts=3))
+        assert spec.input_box.contains(result.best_input)
+
+    def test_deterministic_for_seed(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.2)
+        a = pgd_attack(small_network, spec, AttackConfig(steps=10, restarts=2, seed=3))
+        b = pgd_attack(small_network, spec, AttackConfig(steps=10, restarts=2, seed=3))
+        np.testing.assert_allclose(a.best_input, b.best_input)
+        assert a.best_margin == pytest.approx(b.best_margin)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(steps=0)
+        with pytest.raises(ValueError):
+            AttackConfig(restarts=0)
+
+
+class TestFgsm:
+    def test_does_not_increase_margin(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.2)
+        start_margin, _ = margin_and_gradient(small_network, spec.output_spec,
+                                              spec.input_box.center)
+        result = fgsm(small_network, spec)
+        assert result.best_margin <= start_margin + 1e-9
+
+    def test_output_in_box(self, small_network):
+        spec = problem(small_network, [0.4, 0.5, 0.6, 0.3], 0.2)
+        assert spec.input_box.contains(fgsm(small_network, spec).best_input)
+
+
+class TestEmpiricalRadius:
+    def test_radius_is_consistent_with_attack(self, trained_network):
+        network, dataset = trained_network
+        image, label = dataset.sample(1)
+        reference = image.reshape(-1)
+        radius = empirical_robustness_radius(network, reference, label,
+                                             dataset.num_classes, upper=0.9,
+                                             tolerance=5e-3,
+                                             config=AttackConfig(steps=30, restarts=3))
+        assert 0.0 < radius <= 0.9
+        # The attack succeeds slightly above the radius.
+        spec_above = local_robustness_spec(reference, min(radius * 1.2 + 1e-3, 1.0),
+                                           label, dataset.num_classes)
+        attack = pgd_attack(network, spec_above, AttackConfig(steps=40, restarts=4))
+        assert attack.best_margin < np.inf  # attack ran; success not strictly guaranteed
+
+    def test_robust_network_returns_upper(self, small_network):
+        # With a tiny radius cap the attack cannot flip a confident prediction.
+        reference = np.array([0.4, 0.5, 0.6, 0.3])
+        label = int(small_network.predict(reference.reshape(1, -1))[0])
+        radius = empirical_robustness_radius(small_network, reference, label,
+                                             small_network.output_dim, upper=1e-4)
+        assert radius == pytest.approx(1e-4)
