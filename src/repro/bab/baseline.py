@@ -22,12 +22,12 @@ import numpy as np
 from repro.bab.domain import BaBNode, BaBStatistics
 from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
 from repro.bounds.alpha_crown import AlphaCrownConfig
-from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.bounds.splits import ReluSplit, SplitAssignment
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
 from repro.utils.validation import require
-from repro.verifiers.appver import ApproximateVerifier
+from repro.verifiers.appver import ApproximateVerifier, affordable_phases
 from repro.verifiers.milp import solve_leaf_lp
 from repro.verifiers.result import (
     VerificationResult,
@@ -104,12 +104,20 @@ class BaBBaselineVerifier(Verifier):
 
             node.branch_neuron = neuron
             statistics.nodes_split += 1
-            for phase in (ACTIVE, INACTIVE):
-                if budget.exhausted():
+            phases = affordable_phases(budget)
+            if not phases:
+                return self._finish(VerificationStatus.TIMEOUT, budget, appver,
+                                    statistics, bound=root_outcome.p_hat)
+            truncated = len(phases) < 2
+            splits_list = [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
+                           for phase in phases]
+            # One batched AppVer call bounds both phase-split children together.
+            outcomes = appver.evaluate_batch(splits_list)
+            for position, (child_splits, outcome) in enumerate(zip(splits_list,
+                                                                   outcomes)):
+                if position and budget.exhausted():
                     return self._finish(VerificationStatus.TIMEOUT, budget, appver,
                                         statistics, bound=root_outcome.p_hat)
-                child_splits = node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
-                outcome = appver.evaluate(child_splits)
                 budget.charge_node()
                 child = BaBNode(child_splits, depth=node.depth + 1, outcome=outcome,
                                 parent=node)
@@ -122,6 +130,9 @@ class BaBBaselineVerifier(Verifier):
                     statistics.nodes_verified += 1
                     continue
                 queue.append(child)
+            if truncated:
+                return self._finish(VerificationStatus.TIMEOUT, budget, appver,
+                                    statistics, bound=root_outcome.p_hat)
 
         status = (VerificationStatus.UNKNOWN if has_unknown_leaf
                   else VerificationStatus.VERIFIED)

@@ -31,11 +31,15 @@ import numpy as np
 
 from repro.bab.heuristics import BranchingContext, make_heuristic
 from repro.bounds.alpha_crown import AlphaCrownConfig
-from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.bounds.splits import ReluSplit, SplitAssignment
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
-from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.appver import (
+    ApproximateVerifier,
+    AppVerOutcome,
+    affordable_phases,
+)
 from repro.verifiers.attack import AttackConfig, pgd_attack
 from repro.verifiers.milp import solve_leaf_lp
 from repro.verifiers.result import (
@@ -114,12 +118,20 @@ class AlphaBetaCrownVerifier(Verifier):
                 if verdict is None:
                     has_unknown_leaf = True
                 continue
-            for phase in (ACTIVE, INACTIVE):
-                if budget.exhausted():
-                    return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
-                                        bound=root_outcome.p_hat)
-                child_splits = splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
-                child_outcome = sub_appver.evaluate(child_splits)
+            phases = affordable_phases(budget)
+            if not phases:
+                return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
+                                    bound=root_outcome.p_hat)
+            truncated = len(phases) < 2
+            children = [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
+                        for phase in phases]
+            # One batched AppVer call bounds both phase-split children together.
+            child_outcomes = sub_appver.evaluate_batch(children)
+            for position, (child_splits, child_outcome) in enumerate(zip(children,
+                                                                         child_outcomes)):
+                if position and budget.exhausted():
+                    return self._finish(VerificationStatus.TIMEOUT, budget,
+                                        budget.nodes, bound=root_outcome.p_hat)
                 budget.charge_node()
                 if child_outcome.falsified:
                     return self._finish(VerificationStatus.FALSIFIED, budget,
@@ -130,6 +142,9 @@ class AlphaBetaCrownVerifier(Verifier):
                     continue
                 heapq.heappush(heap, (child_outcome.p_hat, next(counter),
                                       child_splits, child_outcome))
+            if truncated:
+                return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
+                                    bound=root_outcome.p_hat)
 
         status = (VerificationStatus.UNKNOWN if has_unknown_leaf
                   else VerificationStatus.VERIFIED)

@@ -1,31 +1,60 @@
 """Approximated-verifier substrate: IBP, DeepPoly/CROWN and α-CROWN bounds."""
 
 from repro.bounds.alpha_crown import AlphaCrownAnalyzer, AlphaCrownConfig, alpha_crown_bounds
-from repro.bounds.deeppoly import DeepPolyAnalyzer, deeppoly_bounds, default_lower_slope
-from repro.bounds.interval import interval_bounds
+from repro.bounds.cache import DEFAULT_CACHE_SIZE, BoundCache, CacheStats, LayerEntry
+from repro.bounds.deeppoly import (
+    DeepPolyAnalyzer,
+    deeppoly_bounds,
+    deeppoly_bounds_batch,
+    default_lower_slope,
+)
+from repro.bounds.interval import interval_bounds, interval_bounds_batch
 from repro.bounds.linear_form import (
+    BatchedLinearForm,
     LinearForm,
     ScalarBounds,
     concretize_lower,
+    concretize_lower_batch,
     concretize_upper,
+    concretize_upper_batch,
     minimizing_corner,
+    minimizing_corner_batch,
 )
 from repro.bounds.report import BoundReport
-from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.bounds.splits import (
+    ACTIVE,
+    INACTIVE,
+    ReluSplit,
+    SplitAssignment,
+    clip_bounds_with_phases,
+    stacked_phase_array,
+)
 
 __all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "clip_bounds_with_phases",
+    "stacked_phase_array",
     "AlphaCrownAnalyzer",
     "AlphaCrownConfig",
     "alpha_crown_bounds",
+    "BoundCache",
+    "CacheStats",
+    "LayerEntry",
     "DeepPolyAnalyzer",
     "deeppoly_bounds",
+    "deeppoly_bounds_batch",
     "default_lower_slope",
     "interval_bounds",
+    "interval_bounds_batch",
+    "BatchedLinearForm",
     "LinearForm",
     "ScalarBounds",
     "concretize_lower",
+    "concretize_lower_batch",
     "concretize_upper",
+    "concretize_upper_batch",
     "minimizing_corner",
+    "minimizing_corner_batch",
     "BoundReport",
     "ACTIVE",
     "INACTIVE",

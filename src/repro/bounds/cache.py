@@ -1,0 +1,137 @@
+"""Split-aware memoisation of bound-propagation work.
+
+BaB-style verifiers evaluate thousands of sub-problems whose
+:class:`~repro.bounds.splits.SplitAssignment` constraint sets overlap almost
+entirely: the two children of a node share *all* of the parent's splits and
+add one decision each.  Because DeepPoly/IBP pre-activation bounds at hidden
+layer ``L`` depend only on the splits decided at layers ``<= L``, a child
+that splits a neuron at layer ``l*`` can reuse every per-layer result of its
+parent for layers ``< l*`` verbatim and only recompute layers at-or-below
+the decided neuron.
+
+:class:`BoundCache` exploits this with two kinds of entries, both behind one
+bounded LRU store:
+
+* **layer entries**, keyed by ``(layer, SplitAssignment.prefix_key(layer))``
+  — the post-clip pre-activation bounds, the ReLU relaxation derived from
+  them, and whether clipping made that layer inconsistent;
+* **report entries**, keyed by the full ``SplitAssignment.canonical_key()``
+  — the complete :class:`~repro.bounds.report.BoundReport` of a finished
+  analysis, so re-evaluating an identical sub-problem (e.g. an FSB probe
+  followed by the actual expansion) is free.
+
+A cache instance is only valid for one fixed ``(network, input box, output
+spec)`` triple and for the default (heuristic) relaxation slopes; analyses
+with externally supplied ``lower_slopes`` (the α-CROWN optimiser) must
+bypass it.  The owning :class:`~repro.verifiers.appver.ApproximateVerifier`
+guarantees both.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+#: Default capacity shared by every cache owner (AppVer, AbonnConfig).
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class LayerEntry:
+    """Memoised per-layer analysis state (arrays are never mutated)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    lower_slope: np.ndarray
+    upper_slope: np.ndarray
+    upper_intercept: np.ndarray
+    infeasible: bool
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by entry kind."""
+
+    layer_hits: int = 0
+    layer_misses: int = 0
+    report_hits: int = 0
+    report_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.layer_hits + self.report_hits
+
+    @property
+    def misses(self) -> int:
+        return self.layer_misses + self.report_misses
+
+    def as_dict(self) -> dict:
+        return {
+            "layer_hits": self.layer_hits,
+            "layer_misses": self.layer_misses,
+            "report_hits": self.report_hits,
+            "report_misses": self.report_misses,
+            "evictions": self.evictions,
+        }
+
+
+class BoundCache:
+    """A bounded LRU cache over layer and report entries."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        require(max_entries >= 1, "max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- generic LRU plumbing -------------------------------------------------
+    def _get(self, key: Hashable) -> Optional[object]:
+        value = self._store.get(key)
+        if value is not None:
+            self._store.move_to_end(key)
+        return value
+
+    def _put(self, key: Hashable, value: object) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- layer entries --------------------------------------------------------
+    def get_layer(self, layer: int, prefix_key: Tuple) -> Optional[LayerEntry]:
+        entry = self._get(("layer", layer, prefix_key))
+        if entry is None:
+            self.stats.layer_misses += 1
+        else:
+            self.stats.layer_hits += 1
+        return entry
+
+    def put_layer(self, layer: int, prefix_key: Tuple, entry: LayerEntry) -> None:
+        self._put(("layer", layer, prefix_key), entry)
+
+    # -- report entries -------------------------------------------------------
+    def get_report(self, canonical_key: Tuple, with_spec: bool):
+        report = self._get(("report", canonical_key, with_spec))
+        if report is None:
+            self.stats.report_misses += 1
+        else:
+            self.stats.report_hits += 1
+        return report
+
+    def put_report(self, canonical_key: Tuple, with_spec: bool, report) -> None:
+        self._put(("report", canonical_key, with_spec), report)
+
+    # -- management -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()

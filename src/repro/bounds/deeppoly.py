@@ -16,24 +16,47 @@ the analysis in two ways:
 
 If an intersection becomes empty the sub-problem region is empty and the
 report is flagged ``infeasible`` (vacuously verified).
+
+Two execution modes are provided:
+
+* :meth:`DeepPolyAnalyzer.analyze` — one sub-problem at a time;
+* :meth:`DeepPolyAnalyzer.analyze_batch` — ``B`` sub-problems in one pass,
+  carrying a leading batch axis through the backward substitution (stacked
+  relaxation slopes/intercepts, batched matmuls against the shared weights,
+  vectorised concretisation over the shared input box).
+
+Both modes accept a :class:`~repro.bounds.cache.BoundCache` that memoises
+per-layer results keyed by the split-assignment *prefix* relevant to that
+layer, so a child sub-problem only recomputes layers at-or-below its newly
+decided neuron.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bounds.cache import BoundCache, LayerEntry
 from repro.bounds.linear_form import (
+    BatchedLinearForm,
     LinearForm,
     ScalarBounds,
     concretize_lower,
+    concretize_lower_batch,
     concretize_upper,
+    concretize_upper_batch,
     minimizing_corner,
 )
 from repro.bounds.report import BoundReport
-from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
+from repro.bounds.splits import (
+    ACTIVE,
+    INACTIVE,
+    SplitAssignment,
+    clip_bounds_with_phases,
+    stacked_phase_array,
+)
 from repro.nn.network import LoweredNetwork
 from repro.specs.properties import InputBox, LinearOutputSpec
 from repro.utils.validation import require
@@ -57,39 +80,48 @@ def default_lower_slope(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
     return (upper > -lower).astype(float)
 
 
+def _relaxation_arrays(lower: np.ndarray, upper: np.ndarray, phases: np.ndarray,
+                       unstable_lower_slope: Optional[np.ndarray]
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised triangle relaxation; works on 1-D and batched 2-D arrays.
+
+    A neuron is exact-identity when split ACTIVE or provably non-negative,
+    exact-zero when split INACTIVE or provably non-positive, and otherwise
+    gets the triangle upper relaxation with the supplied (or default) lower
+    slope.
+    """
+    active = (phases == ACTIVE) | (lower >= 0.0)
+    inactive = ~active & ((phases == INACTIVE) | (upper <= 0.0))
+    unstable = ~active & ~inactive
+    if unstable_lower_slope is None:
+        unstable_lower_slope = default_lower_slope(lower, upper)
+    denominator = np.where(unstable, upper - lower, 1.0)
+    slope = np.where(unstable, upper / denominator, 0.0)
+    lower_slope = np.where(active, 1.0,
+                           np.where(unstable, unstable_lower_slope, 0.0))
+    upper_slope = np.where(active, 1.0, slope)
+    upper_intercept = np.where(unstable, -slope * lower, 0.0)
+    return lower_slope, upper_slope, upper_intercept
+
+
 def _build_relaxation(bounds: ScalarBounds, layer: int, splits: SplitAssignment,
                       lower_slopes: Optional[np.ndarray]) -> _ReluRelaxation:
     size = bounds.size
-    lower = bounds.lower
-    upper = bounds.upper
-    lower_slope = np.zeros(size)
-    upper_slope = np.zeros(size)
-    upper_intercept = np.zeros(size)
-
-    decided = splits.layer_phases(layer, size)
     if lower_slopes is None:
-        unstable_lower_slope = default_lower_slope(lower, upper)
+        unstable_lower_slope = None
     else:
         unstable_lower_slope = np.clip(np.asarray(lower_slopes, dtype=float), 0.0, 1.0)
         require(unstable_lower_slope.shape == (size,),
                 f"lower_slopes for layer {layer} must have shape {(size,)}")
-
-    for unit in range(size):
-        phase = decided.get(unit, 0)
-        l, u = lower[unit], upper[unit]
-        if phase == ACTIVE or l >= 0.0:
-            lower_slope[unit] = 1.0
-            upper_slope[unit] = 1.0
-        elif phase == INACTIVE or u <= 0.0:
-            lower_slope[unit] = 0.0
-            upper_slope[unit] = 0.0
-        else:
-            # Unstable neuron: triangle relaxation.
-            slope = u / (u - l)
-            upper_slope[unit] = slope
-            upper_intercept[unit] = -slope * l
-            lower_slope[unit] = unstable_lower_slope[unit]
+    phases = splits.layer_phase_array(layer, size)
+    lower_slope, upper_slope, upper_intercept = _relaxation_arrays(
+        bounds.lower, bounds.upper, phases, unstable_lower_slope)
     return _ReluRelaxation(lower_slope, upper_slope, upper_intercept)
+
+
+def _copy_report(report: BoundReport) -> BoundReport:
+    """A shallow copy safe to hand out from the cache (arrays are shared)."""
+    return replace(report, pre_activation_bounds=list(report.pre_activation_bounds))
 
 
 class DeepPolyAnalyzer:
@@ -145,10 +177,67 @@ class DeepPolyAnalyzer:
         upper = concretize_upper(upper_A, upper_c, box)
         return ScalarBounds(lower, upper), LinearForm(lower_A, lower_c)
 
+    # -- batched backward substitution ----------------------------------------
+    def _substitute_to_input_batch(self, coefficients: np.ndarray, constants: np.ndarray,
+                                   last_hidden: int,
+                                   lower_slopes: Sequence[np.ndarray],
+                                   upper_slopes: Sequence[np.ndarray],
+                                   upper_intercepts: Sequence[np.ndarray],
+                                   minimize: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_substitute_to_input`.
+
+        ``coefficients`` has shape ``(B, rows, width)`` and ``constants``
+        ``(B, rows)``; the relaxation sequences hold one ``(B, width_layer)``
+        array per hidden layer up to ``last_hidden``.
+        """
+        A = np.asarray(coefficients, dtype=float)
+        c = np.asarray(constants, dtype=float)
+        batch, rows = A.shape[0], A.shape[1]
+        for layer in range(last_hidden, -1, -1):
+            ls = lower_slopes[layer][:, None, :]
+            us = upper_slopes[layer][:, None, :]
+            ui = upper_intercepts[layer]
+            positive = np.clip(A, 0.0, None)
+            negative = np.clip(A, None, 0.0)
+            if minimize:
+                new_A = positive * ls + negative * us
+                c = c + np.matmul(negative, ui[:, :, None])[..., 0]
+            else:
+                new_A = positive * us + negative * ls
+                c = c + np.matmul(positive, ui[:, :, None])[..., 0]
+            A = new_A
+            weight = self.network.weights[layer]
+            bias = self.network.biases[layer]
+            # Flatten the batch axis so the whole batch runs through one GEMM
+            # instead of a C-level loop of per-element matmuls.
+            flat = A.reshape(batch * rows, A.shape[2])
+            c = c + (flat @ bias).reshape(batch, rows)
+            A = (flat @ weight).reshape(batch, rows, weight.shape[1])
+        return A, c
+
+    def _bound_expression_batch(self, coefficients: np.ndarray, constants: np.ndarray,
+                                last_hidden: int,
+                                lower_slopes: Sequence[np.ndarray],
+                                upper_slopes: Sequence[np.ndarray],
+                                upper_intercepts: Sequence[np.ndarray],
+                                box: InputBox
+                                ) -> Tuple[np.ndarray, np.ndarray, BatchedLinearForm]:
+        """Batched :meth:`_bound_expression`; returns ``(B, rows)`` bound arrays."""
+        lower_A, lower_c = self._substitute_to_input_batch(
+            coefficients, constants, last_hidden,
+            lower_slopes, upper_slopes, upper_intercepts, minimize=True)
+        upper_A, upper_c = self._substitute_to_input_batch(
+            coefficients, constants, last_hidden,
+            lower_slopes, upper_slopes, upper_intercepts, minimize=False)
+        lower = concretize_lower_batch(lower_A, lower_c, box)
+        upper = concretize_upper_batch(upper_A, upper_c, box)
+        return lower, upper, BatchedLinearForm(lower_A, lower_c)
+
     # -- public API -------------------------------------------------------------
     def analyze(self, box: InputBox, splits: Optional[SplitAssignment] = None,
                 spec: Optional[LinearOutputSpec] = None,
-                lower_slopes: Optional[Sequence[np.ndarray]] = None) -> BoundReport:
+                lower_slopes: Optional[Sequence[np.ndarray]] = None,
+                cache: Optional[BoundCache] = None) -> BoundReport:
         """Run the full analysis over ``box`` under ``splits``.
 
         Parameters
@@ -157,6 +246,10 @@ class DeepPolyAnalyzer:
             Optional per-hidden-layer arrays of unstable lower-relaxation
             slopes in ``[0, 1]`` (used by the α-CROWN optimiser); ``None``
             selects DeepPoly's default slope heuristic.
+        cache:
+            Optional split-aware bound cache.  Only consulted with the
+            default slopes; the cache must be dedicated to this network,
+            box and spec.
         """
         network = self.network
         require(box.dimension == network.input_dim,
@@ -165,23 +258,48 @@ class DeepPolyAnalyzer:
         if lower_slopes is not None:
             require(len(lower_slopes) == network.num_relu_layers,
                     "lower_slopes must provide one array per hidden layer")
+        use_cache = cache is not None and lower_slopes is None
+        if use_cache:
+            cached = cache.get_report(splits.canonical_key(), spec is not None)
+            if cached is not None:
+                return _copy_report(cached)
 
         relaxations: List[_ReluRelaxation] = []
         pre_activation_bounds: List[ScalarBounds] = []
         infeasible = False
 
         for layer in range(network.num_relu_layers):
-            weight = network.weights[layer]
-            bias = network.biases[layer]
-            bounds, _ = self._bound_expression(weight, bias, layer - 1, relaxations, box)
-            bounds = self._clip_with_splits(bounds, layer, splits)
-            if not bounds.is_consistent():
-                infeasible = True
-                bounds = ScalarBounds(np.minimum(bounds.lower, bounds.upper),
-                                      np.maximum(bounds.lower, bounds.upper))
+            entry = None
+            key = None
+            if use_cache:
+                key = splits.prefix_key(layer)
+                entry = cache.get_layer(layer, key)
+            if entry is not None:
+                bounds = ScalarBounds(entry.lower, entry.upper)
+                relaxation = _ReluRelaxation(entry.lower_slope, entry.upper_slope,
+                                             entry.upper_intercept)
+                layer_infeasible = entry.infeasible
+            else:
+                weight = network.weights[layer]
+                bias = network.biases[layer]
+                bounds, _ = self._bound_expression(weight, bias, layer - 1,
+                                                   relaxations, box)
+                bounds = self._clip_with_splits(bounds, layer, splits)
+                layer_infeasible = not bounds.is_consistent()
+                if layer_infeasible:
+                    bounds = ScalarBounds(np.minimum(bounds.lower, bounds.upper),
+                                          np.maximum(bounds.lower, bounds.upper))
+                layer_slopes = None if lower_slopes is None else lower_slopes[layer]
+                relaxation = _build_relaxation(bounds, layer, splits, layer_slopes)
+                if use_cache:
+                    cache.put_layer(layer, key, LayerEntry(
+                        bounds.lower.copy(), bounds.upper.copy(),
+                        relaxation.lower_slope.copy(),
+                        relaxation.upper_slope.copy(),
+                        relaxation.upper_intercept.copy(), layer_infeasible))
+            infeasible = infeasible or layer_infeasible
             pre_activation_bounds.append(bounds)
-            layer_slopes = None if lower_slopes is None else lower_slopes[layer]
-            relaxations.append(_build_relaxation(bounds, layer, splits, layer_slopes))
+            relaxations.append(relaxation)
 
         last_hidden = network.num_relu_layers - 1
         output_bounds, _ = self._bound_expression(network.weights[-1], network.biases[-1],
@@ -202,13 +320,171 @@ class DeepPolyAnalyzer:
             candidate = lower_form.minimizer(box, worst_row)
             p_hat = float("inf") if infeasible else float(spec_row_lower[worst_row])
 
-        return BoundReport(pre_activation_bounds=pre_activation_bounds,
-                           output_bounds=output_bounds,
-                           spec_row_lower=spec_row_lower,
-                           p_hat=p_hat,
-                           candidate_input=candidate,
-                           infeasible=infeasible,
-                           method="deeppoly")
+        report = BoundReport(pre_activation_bounds=pre_activation_bounds,
+                             output_bounds=output_bounds,
+                             spec_row_lower=spec_row_lower,
+                             p_hat=p_hat,
+                             candidate_input=candidate,
+                             infeasible=infeasible,
+                             method="deeppoly")
+        if use_cache:
+            cache.put_report(splits.canonical_key(), spec is not None,
+                             _copy_report(report))
+        return report
+
+    def analyze_batch(self, box: InputBox,
+                      splits_list: Sequence[Optional[SplitAssignment]],
+                      spec: Optional[LinearOutputSpec] = None,
+                      cache: Optional[BoundCache] = None) -> List[BoundReport]:
+        """Analyse ``B`` sub-problems of the same box in one batched pass.
+
+        Semantically equivalent to ``[self.analyze(box, s, spec) for s in
+        splits_list]`` (up to floating-point reassociation well below 1e-9 on
+        the networks used here), but the backward substitution of all
+        sub-problems runs through shared, stacked matmuls.  With a ``cache``,
+        sub-problems whose layer prefixes (or whole assignment) were seen
+        before skip straight past the memoised layers.
+        """
+        network = self.network
+        require(box.dimension == network.input_dim,
+                "input box dimension does not match the network")
+        splits_list = [s or SplitAssignment.empty() for s in splits_list]
+        batch_size = len(splits_list)
+        if batch_size == 0:
+            return []
+
+        reports: List[Optional[BoundReport]] = [None] * batch_size
+        if cache is not None:
+            for index, splits in enumerate(splits_list):
+                cached = cache.get_report(splits.canonical_key(), spec is not None)
+                if cached is not None:
+                    reports[index] = _copy_report(cached)
+        pending = [index for index in range(batch_size) if reports[index] is None]
+        if not pending:
+            return reports
+        sub = [splits_list[index] for index in pending]
+        count = len(sub)
+
+        # Per layer, stacked (count, width) state of every pending sub-problem.
+        lower_slopes: List[np.ndarray] = []
+        upper_slopes: List[np.ndarray] = []
+        upper_intercepts: List[np.ndarray] = []
+        lower_layers: List[np.ndarray] = []
+        upper_layers: List[np.ndarray] = []
+        infeasible = np.zeros(count, dtype=bool)
+
+        for layer in range(network.num_relu_layers):
+            weight = network.weights[layer]
+            bias = network.biases[layer]
+            width = weight.shape[0]
+            lower = np.empty((count, width))
+            upper = np.empty((count, width))
+            ls = np.empty((count, width))
+            us = np.empty((count, width))
+            ui = np.empty((count, width))
+            layer_infeasible = np.zeros(count, dtype=bool)
+
+            keys = None
+            miss = list(range(count))
+            if cache is not None:
+                keys = [splits.prefix_key(layer) for splits in sub]
+                miss = []
+                for row in range(count):
+                    entry = cache.get_layer(layer, keys[row])
+                    if entry is None:
+                        miss.append(row)
+                        continue
+                    lower[row] = entry.lower
+                    upper[row] = entry.upper
+                    ls[row] = entry.lower_slope
+                    us[row] = entry.upper_slope
+                    ui[row] = entry.upper_intercept
+                    layer_infeasible[row] = entry.infeasible
+
+            if miss:
+                idx = np.asarray(miss, dtype=int)
+                coefficients = np.broadcast_to(weight, (len(miss),) + weight.shape)
+                constants = np.broadcast_to(bias, (len(miss), bias.shape[0]))
+                miss_lower, miss_upper, _ = self._bound_expression_batch(
+                    coefficients, constants, layer - 1,
+                    [a[idx] for a in lower_slopes],
+                    [a[idx] for a in upper_slopes],
+                    [a[idx] for a in upper_intercepts], box)
+                phases = stacked_phase_array([sub[row] for row in miss],
+                                             layer, width)
+                miss_lower, miss_upper, inconsistent = clip_bounds_with_phases(
+                    miss_lower, miss_upper, phases)
+                miss_ls, miss_us, miss_ui = _relaxation_arrays(
+                    miss_lower, miss_upper, phases, None)
+                lower[idx] = miss_lower
+                upper[idx] = miss_upper
+                ls[idx] = miss_ls
+                us[idx] = miss_us
+                ui[idx] = miss_ui
+                layer_infeasible[idx] = inconsistent
+                if cache is not None:
+                    for position, row in enumerate(miss):
+                        cache.put_layer(layer, keys[row], LayerEntry(
+                            miss_lower[position].copy(), miss_upper[position].copy(),
+                            miss_ls[position].copy(), miss_us[position].copy(),
+                            miss_ui[position].copy(), bool(inconsistent[position])))
+
+            infeasible |= layer_infeasible
+            lower_layers.append(lower)
+            upper_layers.append(upper)
+            lower_slopes.append(ls)
+            upper_slopes.append(us)
+            upper_intercepts.append(ui)
+
+        last_hidden = network.num_relu_layers - 1
+        output_coefficients = np.broadcast_to(
+            network.weights[-1], (count,) + network.weights[-1].shape)
+        output_constants = np.broadcast_to(
+            network.biases[-1], (count, network.biases[-1].shape[0]))
+        output_lower, output_upper, _ = self._bound_expression_batch(
+            output_coefficients, output_constants, last_hidden,
+            lower_slopes, upper_slopes, upper_intercepts, box)
+
+        spec_lower = None
+        candidates = None
+        worst_rows = None
+        if spec is not None:
+            require(spec.output_dim == network.output_dim,
+                    "specification output dimension does not match the network")
+            coefficients = spec.coefficients @ network.weights[-1]
+            constants = spec.coefficients @ network.biases[-1] + spec.offsets
+            spec_lower, _, lower_form = self._bound_expression_batch(
+                np.broadcast_to(coefficients, (count,) + coefficients.shape),
+                np.broadcast_to(constants, (count,) + constants.shape),
+                last_hidden, lower_slopes, upper_slopes, upper_intercepts, box)
+            worst_rows = np.argmin(spec_lower, axis=1)
+            candidates = lower_form.minimizers(box, worst_rows)
+
+        for position, index in enumerate(pending):
+            pre_bounds = [ScalarBounds(lower_layers[layer][position],
+                                       upper_layers[layer][position])
+                          for layer in range(network.num_relu_layers)]
+            spec_row_lower = None
+            p_hat = None
+            candidate = None
+            if spec is not None:
+                spec_row_lower = spec_lower[position]
+                candidate = candidates[position]
+                p_hat = (float("inf") if infeasible[position]
+                         else float(spec_row_lower[worst_rows[position]]))
+            report = BoundReport(pre_activation_bounds=pre_bounds,
+                                 output_bounds=ScalarBounds(output_lower[position],
+                                                            output_upper[position]),
+                                 spec_row_lower=spec_row_lower,
+                                 p_hat=p_hat,
+                                 candidate_input=candidate,
+                                 infeasible=bool(infeasible[position]),
+                                 method="deeppoly")
+            if cache is not None:
+                cache.put_report(sub[position].canonical_key(), spec is not None,
+                                 _copy_report(report))
+            reports[index] = report
+        return reports
 
     @staticmethod
     def _clip_with_splits(bounds: ScalarBounds, layer: int,
@@ -230,3 +506,12 @@ def deeppoly_bounds(network: LoweredNetwork, box: InputBox,
     """Convenience wrapper around :class:`DeepPolyAnalyzer`."""
     return DeepPolyAnalyzer(network).analyze(box, splits=splits, spec=spec,
                                              lower_slopes=lower_slopes)
+
+
+def deeppoly_bounds_batch(network: LoweredNetwork, box: InputBox,
+                          splits_list: Sequence[Optional[SplitAssignment]],
+                          spec: Optional[LinearOutputSpec] = None,
+                          cache: Optional[BoundCache] = None) -> List[BoundReport]:
+    """Convenience wrapper around :meth:`DeepPolyAnalyzer.analyze_batch`."""
+    return DeepPolyAnalyzer(network).analyze_batch(box, splits_list, spec=spec,
+                                                   cache=cache)

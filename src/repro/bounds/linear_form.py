@@ -97,6 +97,102 @@ def minimizing_corner(coefficients: np.ndarray, box: InputBox) -> np.ndarray:
     return np.where(coefficients > 0, box.lower, box.upper)
 
 
+def concretize_lower_batch(coefficients: np.ndarray, constants: np.ndarray,
+                           box: InputBox) -> np.ndarray:
+    """Batched :func:`concretize_lower`: ``(B, R, D)`` coefficients, ``(B, R)`` constants."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    constants = np.asarray(constants, dtype=float)
+    require(coefficients.ndim == 3, "batched coefficients must be (batch, rows, dim)")
+    batch, rows, dim = coefficients.shape
+    flat = coefficients.reshape(batch * rows, dim)
+    positive = np.clip(flat, 0.0, None)
+    negative = np.clip(flat, None, 0.0)
+    values = positive @ box.lower + negative @ box.upper
+    return values.reshape(batch, rows) + constants
+
+
+def concretize_upper_batch(coefficients: np.ndarray, constants: np.ndarray,
+                           box: InputBox) -> np.ndarray:
+    """Batched :func:`concretize_upper`: ``(B, R, D)`` coefficients, ``(B, R)`` constants."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    constants = np.asarray(constants, dtype=float)
+    require(coefficients.ndim == 3, "batched coefficients must be (batch, rows, dim)")
+    batch, rows, dim = coefficients.shape
+    flat = coefficients.reshape(batch * rows, dim)
+    positive = np.clip(flat, 0.0, None)
+    negative = np.clip(flat, None, 0.0)
+    values = positive @ box.upper + negative @ box.lower
+    return values.reshape(batch, rows) + constants
+
+
+def minimizing_corner_batch(coefficients: np.ndarray, box: InputBox) -> np.ndarray:
+    """Batched :func:`minimizing_corner`: one ``(B, D)`` corner per coefficient row."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    require(coefficients.ndim == 2 and coefficients.shape[1] == box.dimension,
+            "batched coefficient rows must be (batch, dim)")
+    return np.where(coefficients > 0, box.lower, box.upper)
+
+
+@dataclass(frozen=True)
+class BatchedLinearForm:
+    """A leading-batch-axis stack of linear forms: ``A[b] @ x + c[b]``.
+
+    ``coefficients`` has shape ``(batch, rows, input_dim)`` and ``constants``
+    shape ``(batch, rows)``; element ``b`` is the :class:`LinearForm` of the
+    b-th sub-problem of a batched bound computation.
+    """
+
+    coefficients: np.ndarray
+    constants: np.ndarray
+
+    def __post_init__(self) -> None:
+        coefficients = np.asarray(self.coefficients, dtype=float)
+        constants = np.asarray(self.constants, dtype=float)
+        require(coefficients.ndim == 3, "coefficients must be (batch, rows, dim)")
+        require(constants.shape == coefficients.shape[:2],
+                "constants must be (batch, rows)")
+        object.__setattr__(self, "coefficients", coefficients)
+        object.__setattr__(self, "constants", constants)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.coefficients.shape[1])
+
+    @property
+    def input_dim(self) -> int:
+        return int(self.coefficients.shape[2])
+
+    def select(self, index: int) -> LinearForm:
+        """The unbatched linear form of one batch element."""
+        require(0 <= index < self.batch_size, f"batch index {index} out of range")
+        return LinearForm(self.coefficients[index], self.constants[index])
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate every batch element's rows at one input: ``(batch, rows)``."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        require(x.shape[0] == self.input_dim, "input has wrong dimension")
+        return self.coefficients @ x + self.constants
+
+    def lower_bound(self, box: InputBox) -> np.ndarray:
+        """Per-element per-row minimum over the box: ``(batch, rows)``."""
+        return concretize_lower_batch(self.coefficients, self.constants, box)
+
+    def upper_bound(self, box: InputBox) -> np.ndarray:
+        """Per-element per-row maximum over the box: ``(batch, rows)``."""
+        return concretize_upper_batch(self.coefficients, self.constants, box)
+
+    def minimizers(self, box: InputBox, rows: np.ndarray) -> np.ndarray:
+        """Per batch element, the corner minimising the selected row."""
+        rows = np.asarray(rows, dtype=int).reshape(-1)
+        require(rows.shape[0] == self.batch_size, "need one row index per batch element")
+        selected = self.coefficients[np.arange(self.batch_size), rows]
+        return minimizing_corner_batch(selected, box)
+
+
 @dataclass(frozen=True)
 class ScalarBounds:
     """Elementwise scalar lower/upper bounds on a vector-valued quantity."""

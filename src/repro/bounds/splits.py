@@ -10,7 +10,9 @@ The bound-propagation verifiers consume these constraints as a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.utils.validation import require
 
@@ -98,6 +100,34 @@ class SplitAssignment:
         return {unit: phase for (lay, unit), phase in self._phases.items()
                 if lay == layer and unit < width}
 
+    def canonical_key(self) -> Tuple[Tuple[int, int, int], ...]:
+        """A hashable canonical form: sorted ``(layer, unit, phase)`` triples.
+
+        Two assignments describing the same constraint set always produce the
+        same key, which is what the bound cache uses to identify sub-problems.
+        """
+        return tuple((layer, unit, phase)
+                     for (layer, unit), phase in sorted(self._phases.items()))
+
+    def prefix_key(self, max_layer: int) -> Tuple[Tuple[int, int, int], ...]:
+        """Canonical key restricted to splits at layers ``<= max_layer``.
+
+        DeepPoly/IBP pre-activation bounds at layer ``L`` depend only on the
+        splits decided at layers ``<= L`` (clipping at ``L``, relaxations
+        below), so this is the correct cache key for per-layer bounds: a child
+        sub-problem shares every prefix entry of its parent below the layer of
+        the newly decided neuron.
+        """
+        return tuple((layer, unit, phase)
+                     for (layer, unit), phase in sorted(self._phases.items())
+                     if layer <= max_layer)
+
+    def max_layer(self) -> int:
+        """The deepest layer with a decided neuron, or ``-1`` when empty."""
+        if not self._phases:
+            return -1
+        return max(layer for layer, _ in self._phases)
+
     def __len__(self) -> int:
         return len(self._phases)
 
@@ -118,6 +148,13 @@ class SplitAssignment:
             return "Γ=ε"
         return "Γ=" + "·".join(str(split) for split in self)
 
+    def layer_phase_array(self, layer: int, width: int) -> np.ndarray:
+        """Decided phases of one layer as an integer array (0 = undecided)."""
+        phases = np.zeros(width, dtype=int)
+        for unit, phase in self.layer_phases(layer, width).items():
+            phases[unit] = phase
+        return phases
+
     def satisfied_by(self, pre_activations: Iterable, tolerance: float = 1e-9) -> bool:
         """Whether concrete pre-activation vectors satisfy every decided phase.
 
@@ -134,3 +171,34 @@ class SplitAssignment:
             if phase == INACTIVE and value > tolerance:
                 return False
         return True
+
+
+def stacked_phase_array(splits_list: Sequence["SplitAssignment"], layer: int,
+                        width: int) -> np.ndarray:
+    """Stacked decided-phase array ``(B, width)`` for one layer (0 = undecided)."""
+    return np.stack([splits.layer_phase_array(layer, width)
+                     for splits in splits_list])
+
+
+def clip_bounds_with_phases(lower: np.ndarray, upper: np.ndarray,
+                            phases: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched split clipping plus per-row inconsistency handling.
+
+    Intersects ``(B, width)`` pre-activation bounds with the decided phases
+    (ACTIVE rows clip the lower bound to 0, INACTIVE rows the upper), flags
+    each batch row whose intersection became empty (beyond the ``1e-12``
+    slack of :meth:`~repro.bounds.linear_form.ScalarBounds.is_consistent`),
+    and re-sorts only those rows so downstream relaxations stay well formed
+    — exactly matching the sequential analyser's behaviour per sub-problem.
+    Returns ``(lower, upper, inconsistent_rows)``.
+    """
+    lower = np.where(phases == ACTIVE, np.maximum(lower, 0.0), lower)
+    upper = np.where(phases == INACTIVE, np.minimum(upper, 0.0), upper)
+    inconsistent = ~np.all(lower <= upper + 1e-12, axis=1)
+    if np.any(inconsistent):
+        swapped_lower = np.minimum(lower[inconsistent], upper[inconsistent])
+        swapped_upper = np.maximum(lower[inconsistent], upper[inconsistent])
+        lower[inconsistent] = swapped_lower
+        upper[inconsistent] = swapped_upper
+    return lower, upper, inconsistent

@@ -14,12 +14,12 @@ root.  The run terminates as soon as
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
-from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.bounds.splits import ReluSplit, SplitAssignment
 from repro.core.config import AbonnConfig
 from repro.core.mcts import (
     MctsNode,
@@ -31,7 +31,11 @@ from repro.core.potentiality import PotentialityScorer
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
-from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.appver import (
+    ApproximateVerifier,
+    AppVerOutcome,
+    affordable_phases,
+)
 from repro.verifiers.milp import solve_leaf_lp
 from repro.verifiers.result import (
     VerificationResult,
@@ -55,7 +59,9 @@ class AbonnVerifier(Verifier):
         config = self.config
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, config.bound_method,
-                                     alpha_config=config.alpha_config)
+                                     alpha_config=config.alpha_config,
+                                     use_cache=config.use_bound_cache,
+                                     cache_size=config.bound_cache_size)
         heuristic = make_heuristic(config.heuristic)
         scorer = PotentialityScorer(max(appver.num_relu_neurons, 1), config.lam)
 
@@ -117,15 +123,18 @@ class AbonnVerifier(Verifier):
             return
 
         node.branch_neuron = neuron
+        phases = affordable_phases(budget)
+        child_splits = [node.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
+                        for phase in phases]
+        # One batched AppVer call bounds both phase-split children together.
+        outcomes = appver.evaluate_batch(child_splits)
         added = 0
-        for phase in (ACTIVE, INACTIVE):
-            if budget.exhausted():
-                break
-            child_splits = node.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
-            outcome = appver.evaluate(child_splits)
+        for phase, splits, outcome in zip(phases, child_splits, outcomes):
+            if added and budget.exhausted():
+                break  # the wall clock ran out between the siblings
             budget.charge_node()
             scorer.observe(outcome.p_hat)
-            child = self._make_child(node, child_splits, outcome, scorer)
+            child = self._make_child(node, splits, outcome, scorer)
             node.children[phase] = child
             added += 1
             self._max_depth = max(self._max_depth, child.depth)
@@ -193,5 +202,6 @@ class AbonnVerifier(Verifier):
                 "exploration": self.config.exploration,
                 "heuristic": self.config.heuristic,
                 "lp_leaves_resolved": getattr(self, "_lp_leaves", 0),
+                "bound_cache": appver.cache_stats(),
             },
         )

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.bounds.alpha_crown import AlphaCrownConfig
+from repro.bounds.cache import DEFAULT_CACHE_SIZE
 from repro.utils.validation import require
 
 #: The paper's default hyperparameters (§V-A): λ = 0.5, c = 0.2.
@@ -34,6 +35,12 @@ class AbonnConfig:
     lp_leaf_refinement:
         Resolve fully phase-decided leaves exactly with an LP (keeps the
         procedure complete, mirroring the paper's GUROBI back-end).
+    use_bound_cache:
+        Memoise per-layer pre-activation bounds (and whole reports) in the
+        AppVer's split-aware bound cache.  Caching never changes verdicts —
+        a hit returns exactly what recomputation would.
+    bound_cache_size:
+        Maximum number of bound-cache entries (LRU eviction beyond that).
     """
 
     lam: float = DEFAULT_LAMBDA
@@ -42,7 +49,10 @@ class AbonnConfig:
     bound_method: str = "deeppoly"
     lp_leaf_refinement: bool = True
     alpha_config: Optional[AlphaCrownConfig] = None
+    use_bound_cache: bool = True
+    bound_cache_size: int = DEFAULT_CACHE_SIZE
 
     def __post_init__(self) -> None:
         require(0.0 <= self.lam <= 1.0, "lam must be in [0, 1]")
         require(self.exploration >= 0.0, "exploration must be non-negative")
+        require(self.bound_cache_size >= 1, "bound_cache_size must be positive")

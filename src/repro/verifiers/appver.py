@@ -11,26 +11,55 @@ An approximated verifier, applied to a (sub-)problem, returns (§III):
 This module wraps the bound-propagation analysers of :mod:`repro.bounds`
 behind that interface and counts calls, which is how all verifiers charge
 their node budgets.
+
+Two throughput features back the hot path:
+
+* :meth:`ApproximateVerifier.evaluate_batch` bounds ``B`` sub-problems in
+  one batched backward pass (the two phase-split children of a BaB
+  expansion, a beam of candidate splits, ...);
+* a split-aware :class:`~repro.bounds.cache.BoundCache` (on by default)
+  memoises per-layer pre-activation bounds keyed by the split-assignment
+  prefix relevant to each layer, plus whole reports keyed by the full
+  canonical assignment, so a child sub-problem only recomputes layers
+  at-or-below its newly decided neuron.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.bounds.alpha_crown import AlphaCrownAnalyzer, AlphaCrownConfig
+from repro.bounds.cache import DEFAULT_CACHE_SIZE, BoundCache
 from repro.bounds.deeppoly import DeepPolyAnalyzer
-from repro.bounds.interval import interval_bounds
+from repro.bounds.interval import interval_bounds, interval_bounds_batch
 from repro.bounds.report import BoundReport
-from repro.bounds.splits import SplitAssignment
+from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
 from repro.nn.network import Network
 from repro.specs.properties import Specification
+from repro.utils.timing import Budget
 from repro.utils.validation import require
 
 #: Supported bound-propagation back-ends.
 BOUND_METHODS = ("deeppoly", "alpha-crown", "ibp")
+
+
+def affordable_phases(budget: Budget) -> tuple:
+    """The phase-split children a node budget still pays for.
+
+    Mirrors the sequential per-child exhaustion check of the BaB drivers:
+    no children once the budget is spent, only the ``r+`` child when a
+    single node charge remains, both otherwise.  Wall-clock exhaustion is
+    re-checked by the drivers between the children they process.
+    """
+    if budget.exhausted():
+        return ()
+    remaining = budget.remaining_nodes()
+    if remaining is not None and remaining < 2:
+        return (ACTIVE,)
+    return (ACTIVE, INACTIVE)
 
 
 @dataclass
@@ -71,10 +100,17 @@ class ApproximateVerifier:
         One of ``"deeppoly"`` (default), ``"alpha-crown"`` or ``"ibp"``.
     alpha_config:
         Optional α-CROWN optimiser configuration (only used by that method).
+    use_cache:
+        Enable the split-aware bound cache for the DeepPoly back-end.
+        Caching never changes results: a hit returns exactly the bounds the
+        analyser would recompute for the same (sub-)problem.
+    cache_size:
+        Maximum number of cache entries (LRU eviction beyond that).
     """
 
     def __init__(self, network: Network, spec: Specification, method: str = "deeppoly",
-                 alpha_config: Optional[AlphaCrownConfig] = None) -> None:
+                 alpha_config: Optional[AlphaCrownConfig] = None,
+                 use_cache: bool = True, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         require(method in BOUND_METHODS,
                 f"unknown bound method {method!r}; choose one of {BOUND_METHODS}")
         self.network = network
@@ -87,12 +123,23 @@ class ApproximateVerifier:
                 "specification output dimension does not match the network")
         self._deeppoly = DeepPolyAnalyzer(self.lowered)
         self._alpha = AlphaCrownAnalyzer(self.lowered, alpha_config)
+        self.cache: Optional[BoundCache] = (BoundCache(cache_size) if use_cache
+                                            else None)
         self.num_calls = 0
 
     @property
     def num_relu_neurons(self) -> int:
         """The constant ``K`` of Def. 1."""
         return self.lowered.num_relu_neurons
+
+    def _outcome_from_report(self, report: BoundReport) -> AppVerOutcome:
+        candidate = report.candidate_input
+        valid = False
+        if candidate is not None and report.p_hat is not None and report.p_hat < 0.0:
+            valid = self.spec.is_counterexample(self.network, candidate)
+        p_hat = float(report.p_hat) if report.p_hat is not None else float("-inf")
+        return AppVerOutcome(p_hat=p_hat, candidate=candidate,
+                             is_valid_counterexample=valid, report=report)
 
     def evaluate(self, splits: Optional[SplitAssignment] = None,
                  method: Optional[str] = None) -> AppVerOutcome:
@@ -109,14 +156,46 @@ class ApproximateVerifier:
                                          spec=self.spec.output_spec)
         else:
             report = self._deeppoly.analyze(self.spec.input_box, splits=splits,
-                                            spec=self.spec.output_spec)
-        candidate = report.candidate_input
-        valid = False
-        if candidate is not None and report.p_hat is not None and report.p_hat < 0.0:
-            valid = self.spec.is_counterexample(self.network, candidate)
-        p_hat = float(report.p_hat) if report.p_hat is not None else float("-inf")
-        return AppVerOutcome(p_hat=p_hat, candidate=candidate,
-                             is_valid_counterexample=valid, report=report)
+                                            spec=self.spec.output_spec,
+                                            cache=self.cache)
+        return self._outcome_from_report(report)
+
+    def evaluate_batch(self, splits_list: Sequence[Optional[SplitAssignment]],
+                       method: Optional[str] = None) -> List[AppVerOutcome]:
+        """Apply the approximated verifier to ``B`` sub-problems at once.
+
+        Returns one :class:`AppVerOutcome` per entry of ``splits_list``, in
+        order, equal (to floating-point noise far below 1e-9) to what ``B``
+        :meth:`evaluate` calls would return; each sub-problem is charged one
+        call.  The DeepPoly and IBP back-ends run a genuinely batched
+        backward pass; α-CROWN (whose SPSA slope optimisation is inherently
+        sequential) falls back to a per-element loop.
+        """
+        method = method or self.method
+        require(method in BOUND_METHODS, f"unknown bound method {method!r}")
+        splits_list = [s or SplitAssignment.empty() for s in splits_list]
+        self.num_calls += len(splits_list)
+        if not splits_list:
+            return []
+        if method == "ibp":
+            reports = interval_bounds_batch(self.lowered, self.spec.input_box,
+                                            splits_list, spec=self.spec.output_spec)
+        elif method == "alpha-crown":
+            reports = [self._alpha.analyze(self.spec.input_box, splits=splits,
+                                           spec=self.spec.output_spec)
+                       for splits in splits_list]
+        else:
+            reports = self._deeppoly.analyze_batch(self.spec.input_box, splits_list,
+                                                   spec=self.spec.output_spec,
+                                                   cache=self.cache)
+        return [self._outcome_from_report(report) for report in reports]
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of the bound cache (zeros when caching is off)."""
+        if self.cache is None:
+            return {"layer_hits": 0, "layer_misses": 0, "report_hits": 0,
+                    "report_misses": 0, "evictions": 0}
+        return self.cache.stats.as_dict()
 
     def reset_counter(self) -> None:
         self.num_calls = 0

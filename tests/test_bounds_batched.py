@@ -1,0 +1,190 @@
+"""Equivalence regression tests: batched AppVer vs sequential evaluation.
+
+``ApproximateVerifier.evaluate_batch`` must reproduce sequential
+``evaluate`` results to 1e-9 — for batch sizes 1, 2 and 17, with and
+without warmed cache prefixes, and including infeasible-split reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.linear_form import BatchedLinearForm, LinearForm
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.specs.robustness import local_robustness_spec
+from repro.verifiers.appver import ApproximateVerifier
+
+TOLERANCE = 1e-9
+
+
+@pytest.fixture()
+def medium_problem(small_network):
+    reference = np.array([0.45, 0.55, 0.5, 0.4])
+    label = int(small_network.predict(reference.reshape(1, -1))[0])
+    spec = local_robustness_spec(reference, 0.12, label, 3, name="batched-spec")
+    return small_network, spec
+
+
+def _make_splits_pool(network, spec, seed=0):
+    """A pool of assignments: empty, single, chained, and infeasible splits."""
+    verifier = ApproximateVerifier(network, spec, use_cache=False)
+    report = verifier.evaluate().report
+    unstable = report.unstable_neurons()
+    assert unstable, "fixture problem must have unstable neurons"
+
+    rng = np.random.default_rng(seed)
+    pool = [SplitAssignment.empty()]
+    for layer, unit in unstable:
+        pool.append(SplitAssignment.from_splits([ReluSplit(layer, unit, ACTIVE)]))
+        pool.append(SplitAssignment.from_splits([ReluSplit(layer, unit, INACTIVE)]))
+    for _ in range(8):
+        chosen = rng.choice(len(unstable), size=min(2, len(unstable)), replace=False)
+        splits = SplitAssignment.empty()
+        for index in chosen:
+            layer, unit = unstable[int(index)]
+            phase = ACTIVE if rng.random() < 0.5 else INACTIVE
+            splits = splits.with_split(ReluSplit(layer, unit, phase))
+        pool.append(splits)
+
+    # Force an infeasible sub-problem: a provably-active neuron split INACTIVE.
+    stable_active = [(layer, unit)
+                     for layer, bounds in enumerate(report.pre_activation_bounds)
+                     for unit in range(bounds.size)
+                     if bounds.lower[unit] > 1e-6]
+    assert stable_active, "fixture problem must have a stably active neuron"
+    layer, unit = stable_active[0]
+    pool.append(SplitAssignment.from_splits([ReluSplit(layer, unit, INACTIVE)]))
+    return pool
+
+
+def _assert_outcomes_match(batched, sequential):
+    assert len(batched) == len(sequential)
+    for got, want in zip(batched, sequential):
+        if want.p_hat == float("inf"):
+            assert got.p_hat == float("inf")
+        else:
+            assert abs(got.p_hat - want.p_hat) <= TOLERANCE
+        assert got.report.infeasible == want.report.infeasible
+        assert got.is_valid_counterexample == want.is_valid_counterexample
+        assert np.allclose(got.report.spec_row_lower, want.report.spec_row_lower,
+                           atol=TOLERANCE)
+        assert np.allclose(got.report.output_bounds.lower,
+                           want.report.output_bounds.lower, atol=TOLERANCE)
+        assert np.allclose(got.report.output_bounds.upper,
+                           want.report.output_bounds.upper, atol=TOLERANCE)
+        for got_bounds, want_bounds in zip(got.report.pre_activation_bounds,
+                                           want.report.pre_activation_bounds):
+            assert np.allclose(got_bounds.lower, want_bounds.lower, atol=TOLERANCE)
+            assert np.allclose(got_bounds.upper, want_bounds.upper, atol=TOLERANCE)
+        assert np.allclose(got.candidate, want.candidate, atol=TOLERANCE)
+
+
+class TestEvaluateBatchEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 2, 17])
+    @pytest.mark.parametrize("method", ["deeppoly", "ibp"])
+    def test_matches_sequential_without_cache(self, medium_problem, batch_size, method):
+        network, spec = medium_problem
+        pool = _make_splits_pool(network, spec)
+        batch = [pool[index % len(pool)] for index in range(batch_size)]
+        sequential = [ApproximateVerifier(network, spec, method,
+                                          use_cache=False).evaluate(splits)
+                      for splits in batch]
+        batched = ApproximateVerifier(network, spec, method,
+                                      use_cache=False).evaluate_batch(batch)
+        _assert_outcomes_match(batched, sequential)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 17])
+    def test_matches_sequential_with_cached_prefixes(self, medium_problem, batch_size):
+        network, spec = medium_problem
+        pool = _make_splits_pool(network, spec)
+        batch = [pool[index % len(pool)] for index in range(batch_size)]
+        sequential = [ApproximateVerifier(network, spec,
+                                          use_cache=False).evaluate(splits)
+                      for splits in batch]
+        # Warm the cache with the root and a few parents, then batch-evaluate.
+        verifier = ApproximateVerifier(network, spec, use_cache=True)
+        verifier.evaluate()
+        verifier.evaluate(pool[1])
+        batched = verifier.evaluate_batch(batch)
+        assert verifier.cache.stats.hits > 0
+        _assert_outcomes_match(batched, sequential)
+        # A second pass is served from the report cache and still matches.
+        again = verifier.evaluate_batch(batch)
+        _assert_outcomes_match(again, sequential)
+
+    def test_infeasible_split_reports(self, medium_problem):
+        network, spec = medium_problem
+        pool = _make_splits_pool(network, spec)
+        infeasible_splits = pool[-1]
+        verifier = ApproximateVerifier(network, spec, use_cache=False)
+        outcomes = verifier.evaluate_batch([SplitAssignment.empty(), infeasible_splits])
+        assert not outcomes[0].report.infeasible
+        assert outcomes[1].report.infeasible
+        assert outcomes[1].p_hat == float("inf")
+        assert outcomes[1].verified
+
+    def test_empty_batch(self, medium_problem):
+        network, spec = medium_problem
+        verifier = ApproximateVerifier(network, spec)
+        assert verifier.evaluate_batch([]) == []
+        assert verifier.num_calls == 0
+
+    def test_batch_charges_one_call_per_subproblem(self, medium_problem):
+        network, spec = medium_problem
+        pool = _make_splits_pool(network, spec)
+        verifier = ApproximateVerifier(network, spec)
+        verifier.evaluate_batch(pool[:5])
+        assert verifier.num_calls == 5
+
+    def test_none_entries_mean_empty_assignment(self, medium_problem):
+        network, spec = medium_problem
+        verifier = ApproximateVerifier(network, spec)
+        outcome_none, outcome_empty = verifier.evaluate_batch(
+            [None, SplitAssignment.empty()])
+        assert outcome_none.p_hat == outcome_empty.p_hat
+
+    def test_alpha_crown_batch_falls_back_to_sequential(self, medium_problem):
+        network, spec = medium_problem
+        pool = _make_splits_pool(network, spec)
+        batch = pool[:2]
+        sequential = [ApproximateVerifier(network, spec,
+                                          "alpha-crown").evaluate(splits)
+                      for splits in batch]
+        batched = ApproximateVerifier(network, spec,
+                                      "alpha-crown").evaluate_batch(batch)
+        for got, want in zip(batched, sequential):
+            assert got.p_hat == pytest.approx(want.p_hat, abs=TOLERANCE)
+
+
+class TestBatchedLinearForm:
+    def test_batched_form_matches_per_element_forms(self):
+        rng = np.random.default_rng(3)
+        coefficients = rng.standard_normal((4, 3, 5))
+        constants = rng.standard_normal((4, 3))
+        from repro.specs.properties import InputBox
+        box = InputBox(np.zeros(5), np.ones(5))
+        batched = BatchedLinearForm(coefficients, constants)
+        assert batched.batch_size == 4
+        assert batched.num_rows == 3
+        assert batched.input_dim == 5
+        x = rng.random(5)
+        values = batched.evaluate(x)
+        lower = batched.lower_bound(box)
+        upper = batched.upper_bound(box)
+        rows = np.array([0, 2, 1, 0])
+        corners = batched.minimizers(box, rows)
+        for index in range(4):
+            form = batched.select(index)
+            assert isinstance(form, LinearForm)
+            assert np.allclose(values[index], form.evaluate(x))
+            assert np.allclose(lower[index], form.lower_bound(box))
+            assert np.allclose(upper[index], form.upper_bound(box))
+            assert np.array_equal(corners[index],
+                                  form.minimizer(box, int(rows[index])))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchedLinearForm(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            BatchedLinearForm(np.zeros((2, 3, 4)), np.zeros((2, 4)))

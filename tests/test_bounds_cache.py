@@ -1,0 +1,172 @@
+"""Correctness tests for the split-aware bound cache.
+
+Cache hits must never change verdicts: a complete ABONN (and BaB baseline)
+run with caching on must produce the same ``VerificationResult`` as with
+caching off, and the cache must respect its configured size bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.cache import BoundCache, LayerEntry
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.core import AbonnConfig, AbonnVerifier
+from repro.specs.robustness import local_robustness_spec
+from repro.utils import Budget
+from repro.verifiers.appver import ApproximateVerifier
+
+
+def _problem(network, reference, epsilon):
+    reference = np.asarray(reference, dtype=float).reshape(-1)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    return local_robustness_spec(reference, epsilon, label, network.output_dim)
+
+
+def _results_equal(with_cache, without_cache):
+    assert with_cache.status == without_cache.status
+    assert with_cache.nodes_explored == without_cache.nodes_explored
+    assert with_cache.tree_size == without_cache.tree_size
+    if without_cache.bound is None:
+        assert with_cache.bound is None
+    else:
+        assert with_cache.bound == pytest.approx(without_cache.bound, abs=1e-12)
+    if without_cache.counterexample is None:
+        assert with_cache.counterexample is None
+    else:
+        assert np.allclose(with_cache.counterexample, without_cache.counterexample,
+                           atol=1e-12)
+    assert with_cache.extras["max_depth"] == without_cache.extras["max_depth"]
+
+
+class TestCacheDoesNotChangeVerdicts:
+    #: (sample index, epsilon) pairs covering verified-after-branching,
+    #: falsified-after-branching and root-resolved problems.
+    PROBLEMS = [(25, 0.15), (13, 0.2), (3, 0.1)]
+
+    @pytest.mark.parametrize("index,epsilon", PROBLEMS)
+    def test_abonn_cache_on_vs_off(self, trained_network, index, epsilon):
+        network, dataset = trained_network
+        image, _ = dataset.sample(index)
+        spec = _problem(network, image.reshape(-1), epsilon)
+        results = {}
+        for use_cache in (True, False):
+            config = AbonnConfig(use_bound_cache=use_cache)
+            results[use_cache] = AbonnVerifier(config).verify(
+                network, spec, Budget(max_nodes=120))
+        _results_equal(results[True], results[False])
+
+    def test_branching_run_produces_layer_hits(self, trained_network):
+        """Splits below the last layer reuse the parent's prefix entries."""
+        network, dataset = trained_network
+        image, _ = dataset.sample(25)
+        spec = _problem(network, image.reshape(-1), 0.15)
+        result = AbonnVerifier().verify(network, spec, Budget(max_nodes=120))
+        assert result.nodes_explored > 1, "problem must require branching"
+        assert result.extras["bound_cache"]["layer_hits"] > 0
+
+    def test_abonn_cache_on_vs_off_with_probing_heuristic(self, trained_network):
+        """FSB probes children that are later expanded: report-cache hits."""
+        network, dataset = trained_network
+        image, _ = dataset.sample(25)
+        spec = _problem(network, image.reshape(-1), 0.15)
+        results = {}
+        for use_cache in (True, False):
+            config = AbonnConfig(heuristic="fsb", use_bound_cache=use_cache)
+            results[use_cache] = AbonnVerifier(config).verify(
+                network, spec, Budget(max_nodes=200))
+        _results_equal(results[True], results[False])
+        cache_stats = results[True].extras["bound_cache"]
+        assert cache_stats["report_hits"] > 0
+
+    def test_sequential_hits_are_bitwise_identical(self, small_network):
+        spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)
+        cached = ApproximateVerifier(small_network, spec, use_cache=True)
+        plain = ApproximateVerifier(small_network, spec, use_cache=False)
+        root_report = cached.evaluate().report
+        neurons = root_report.unstable_neurons()[:3]
+        chain = SplitAssignment.empty()
+        for layer, unit in neurons:
+            chain = chain.with_split(ReluSplit(layer, unit, ACTIVE))
+            for splits in (chain, chain):  # second pass is a report-cache hit
+                assert cached.evaluate(splits).p_hat == plain.evaluate(splits).p_hat
+
+
+class TestCacheSizeBound:
+    def test_lru_eviction_respects_max_entries(self):
+        cache = BoundCache(max_entries=2)
+        entry = LayerEntry(np.zeros(2), np.ones(2), np.zeros(2), np.ones(2),
+                           np.zeros(2), False)
+        cache.put_layer(0, ("a",), entry)
+        cache.put_layer(0, ("b",), entry)
+        cache.put_layer(0, ("c",), entry)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get_layer(0, ("a",)) is None  # oldest evicted
+        assert cache.get_layer(0, ("c",)) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = BoundCache(max_entries=2)
+        entry = LayerEntry(np.zeros(1), np.ones(1), np.zeros(1), np.ones(1),
+                           np.zeros(1), False)
+        cache.put_layer(0, ("a",), entry)
+        cache.put_layer(0, ("b",), entry)
+        cache.get_layer(0, ("a",))  # refresh "a"; "b" becomes LRU
+        cache.put_layer(0, ("c",), entry)
+        assert cache.get_layer(0, ("a",)) is not None
+        assert cache.get_layer(0, ("b",)) is None
+
+    def test_verifier_cache_respects_configured_bound(self, small_network):
+        spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)
+        verifier = ApproximateVerifier(small_network, spec, cache_size=6)
+        root = verifier.evaluate().report
+        for layer, unit in root.unstable_neurons():
+            for phase in (ACTIVE, INACTIVE):
+                verifier.evaluate(SplitAssignment.from_splits(
+                    [ReluSplit(layer, unit, phase)]))
+        assert len(verifier.cache) <= 6
+        assert verifier.cache.stats.evictions > 0
+
+    def test_abonn_result_stable_under_tiny_cache(self, small_network):
+        """Evictions (like hits) must never change the verdict."""
+        spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)
+        budget = Budget(max_nodes=150)
+        tiny = AbonnVerifier(AbonnConfig(bound_cache_size=3)).verify(
+            small_network, spec, budget.copy())
+        unbounded = AbonnVerifier(AbonnConfig(use_bound_cache=False)).verify(
+            small_network, spec, budget.copy())
+        _results_equal(tiny, unbounded)
+
+    def test_invalid_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            BoundCache(max_entries=0)
+        with pytest.raises(ValueError):
+            AbonnConfig(bound_cache_size=0)
+
+
+class TestCacheStats:
+    def test_stats_accumulate(self, small_network):
+        spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)
+        verifier = ApproximateVerifier(small_network, spec)
+        verifier.evaluate()
+        assert verifier.cache.stats.report_misses == 1
+        verifier.evaluate()
+        assert verifier.cache.stats.report_hits == 1
+        stats = verifier.cache_stats()
+        assert stats["layer_misses"] == small_network.lowered().num_relu_layers
+
+    def test_disabled_cache_reports_zero_stats(self, small_network):
+        spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)
+        verifier = ApproximateVerifier(small_network, spec, use_cache=False)
+        verifier.evaluate()
+        assert verifier.cache is None
+        assert all(value == 0 for value in verifier.cache_stats().values())
+
+    def test_clear_empties_cache(self, small_network):
+        spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)
+        verifier = ApproximateVerifier(small_network, spec)
+        verifier.evaluate()
+        assert len(verifier.cache) > 0
+        verifier.cache.clear()
+        assert len(verifier.cache) == 0
