@@ -13,6 +13,13 @@ modes:
   cache, parents already bounded (the shipped default: children reuse
   every cached layer below their newly decided neuron).
 
+With ``--frontier`` the benchmark additionally runs the ABONN verifier
+end-to-end at several ``frontier_size`` values on the dense seed families
+and reports, per run, the verdict, throughput, and the *realised*
+``evaluate_batch`` size histogram from the verifier's own stats — so the
+batch sizes the frontier actually achieves are observable in the JSON
+instead of inferred from the micro-benchmark.
+
 Results are printed as JSON and written to
 ``benchmarks/output/BENCH_batching.json`` so future runs can track the
 speedup.  Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the
@@ -32,14 +39,20 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.core.abonn import AbonnVerifier
+from repro.core.config import AbonnConfig
 from repro.nn.zoo import MODEL_FAMILIES
 from repro.specs.robustness import local_robustness_spec
+from repro.utils.timing import Budget
 from repro.verifiers.appver import ApproximateVerifier
 
 OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_batching.json"
 
 FULL_FAMILIES = ("MNIST_L2", "MNIST_L4", "CIFAR_BASE", "CIFAR_DEEP")
 SMOKE_FAMILIES = ("MNIST_L2",)
+#: End-to-end frontier runs use the AppVer-dispatch-bound dense families.
+FRONTIER_FAMILIES = ("MNIST_L2", "MNIST_L4")
+SMOKE_FRONTIER_FAMILIES = ("MNIST_L2",)
 
 
 def _smoke_mode(args: argparse.Namespace) -> bool:
@@ -89,6 +102,54 @@ def _make_frontier(network, spec, batch_size: int, seed: int
                 children.append(parent.with_split(
                     ReluSplit(branch_layer, branch_unit, phase)))
     return parents, children
+
+
+def _branching_problem(family_name: str):
+    """A robustness problem whose root raises a false alarm (needs splits).
+
+    Searches a geometric epsilon ladder for the first radius at which the
+    root DeepPoly bound neither verifies nor falsifies the untrained seed
+    network — the regime where the BaB search (and hence the frontier) runs.
+    """
+    family = MODEL_FAMILIES[family_name]
+    dataset = family.build_dataset(0)
+    network = family.build_network(dataset, 0)
+    for reference_index in range(8):
+        reference = dataset.inputs[reference_index].reshape(-1)
+        label = int(network.predict(reference.reshape(1, -1))[0])
+        for epsilon in (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4):
+            spec = local_robustness_spec(reference, epsilon,
+                                         label, dataset.num_classes)
+            outcome = ApproximateVerifier(network, spec,
+                                          use_cache=False).evaluate()
+            if outcome.needs_split:
+                return network, spec, epsilon
+    raise RuntimeError(f"no branching problem found for {family_name}")
+
+
+def bench_frontier(family_name: str, frontier_sizes, max_nodes: int) -> List[Dict]:
+    """End-to-end ABONN runs: verdict + realised batch sizes per frontier."""
+    network, spec, epsilon = _branching_problem(family_name)
+    rows = []
+    for frontier_size in frontier_sizes:
+        config = AbonnConfig(frontier_size=frontier_size)
+        start = time.perf_counter()
+        result = AbonnVerifier(config).verify(network, spec,
+                                              Budget(max_nodes=max_nodes))
+        elapsed = time.perf_counter() - start
+        stats = result.extras["bound_cache"]
+        rows.append({
+            "network": family_name,
+            "epsilon": epsilon,
+            "frontier_size": frontier_size,
+            "status": result.status.value,
+            "nodes_explored": result.nodes_explored,
+            "elapsed_seconds": elapsed,
+            "nodes_per_sec": result.nodes_explored / elapsed if elapsed else 0.0,
+            "mean_realised_batch": stats["mean_realised_batch"],
+            "batch_histogram": stats["batch_histogram"],
+        })
+    return rows
 
 
 def _best_time(run, repetitions: int) -> float:
@@ -147,6 +208,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny repetitions/batch sizes for CI")
+    parser.add_argument("--frontier", action="store_true",
+                        help="also run end-to-end ABONN frontier expansion and "
+                             "report realised batch-size histograms")
     args = parser.parse_args(argv)
     smoke = _smoke_mode(args)
 
@@ -177,6 +241,35 @@ def main(argv=None) -> int:
                                                  for row in large_batches),
     }
     payload = {"benchmark": "appver_batching", "summary": summary, "rows": rows}
+
+    if args.frontier:
+        frontier_families = (SMOKE_FRONTIER_FAMILIES if smoke
+                             else FRONTIER_FAMILIES)
+        frontier_sizes = (1, 8) if smoke else (1, 2, 8)
+        max_nodes = 64 if smoke else 512
+        frontier_rows: List[Dict] = []
+        for family_name in frontier_families:
+            frontier_rows.extend(bench_frontier(family_name, frontier_sizes,
+                                                max_nodes))
+        by_family: Dict[str, Dict[int, Dict]] = {}
+        for row in frontier_rows:
+            by_family.setdefault(row["network"], {})[row["frontier_size"]] = row
+        payload["frontier"] = {
+            "max_nodes": max_nodes,
+            "summary": {
+                # Verdicts must not depend on the frontier size.
+                "verdicts_match": all(
+                    len({row["status"] for row in runs.values()}) == 1
+                    for runs in by_family.values()),
+                # Acceptance: mean realised evaluate_batch size at K=8 on the
+                # dense families must reach the batched throughput regime.
+                "min_mean_realised_batch_at_frontier_8": min(
+                    runs[8]["mean_realised_batch"] for runs in by_family.values()
+                    if 8 in runs),
+            },
+            "rows": frontier_rows,
+        }
+
     text = json.dumps(payload, indent=2)
     print(text)
     OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)

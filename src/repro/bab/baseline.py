@@ -5,6 +5,11 @@ It explores the sub-problem space breadth-first ("first come, first served",
 created, bounded, and appended to a FIFO queue.  A depth-first variant is
 also provided because it is a useful ablation point.
 
+``frontier_size`` pops up to ``K`` queued sub-problems per round and bounds
+all of their phase-split children through one batched AppVer call (realised
+batch up to ``2K``), preserving the sequential per-child budget semantics;
+``K=1`` (default) is exactly the sequential loop.
+
 Completeness: when a sub-problem has no unstable neuron left but its bound
 is still negative (an artefact of the linear relaxation not feeding the
 split constraints back into the input region), the sub-problem is resolved
@@ -44,14 +49,17 @@ class BaBBaselineVerifier(Verifier):
 
     def __init__(self, heuristic: str = "deepsplit", bound_method: str = "deeppoly",
                  exploration: str = "bfs", lp_leaf_refinement: bool = True,
-                 alpha_config: Optional[AlphaCrownConfig] = None) -> None:
+                 alpha_config: Optional[AlphaCrownConfig] = None,
+                 frontier_size: int = 1) -> None:
         require(exploration in ("bfs", "dfs"),
                 f"exploration must be 'bfs' or 'dfs', got {exploration!r}")
+        require(frontier_size >= 1, "frontier_size must be positive")
         self.heuristic_name = heuristic
         self.bound_method = bound_method
         self.exploration = exploration
         self.lp_leaf_refinement = lp_leaf_refinement
         self.alpha_config = alpha_config
+        self.frontier_size = frontier_size
         if exploration == "dfs":
             self.name = "BaB-dfs"
 
@@ -84,52 +92,88 @@ class BaBBaselineVerifier(Verifier):
             if budget.exhausted():
                 return self._finish(VerificationStatus.TIMEOUT, budget, appver, statistics,
                                     bound=root_outcome.p_hat)
-            node = queue.popleft() if self.exploration == "bfs" else queue.pop()
-            statistics.nodes_expanded += 1
-            statistics.record_depth(node.depth)
-
-            context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
-                                       report=node.outcome.report, splits=node.splits,
-                                       evaluate_split=self._make_probe(appver, budget))
-            neuron = heuristic.select(context)
-            if neuron is None:
-                budget.charge_node()  # the leaf LP costs about one bound computation
-                resolved, counterexample = self._resolve_leaf(appver, spec, node, statistics)
-                if counterexample is not None:
-                    return self._finish(VerificationStatus.FALSIFIED, budget, appver,
-                                        statistics, counterexample=counterexample)
-                if not resolved:
-                    has_unknown_leaf = True
-                continue
-
-            node.branch_neuron = neuron
-            statistics.nodes_split += 1
-            phases = affordable_phases(budget)
-            if not phases:
-                return self._finish(VerificationStatus.TIMEOUT, budget, appver,
-                                    statistics, bound=root_outcome.p_hat)
-            truncated = len(phases) < 2
-            splits_list = [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
-                           for phase in phases]
-            # One batched AppVer call bounds both phase-split children together.
-            outcomes = appver.evaluate_batch(splits_list)
-            for position, (child_splits, outcome) in enumerate(zip(splits_list,
-                                                                   outcomes)):
-                if position and budget.exhausted():
+            # Gather up to ``frontier_size`` queued nodes to expand together;
+            # fully phase-decided leaves are resolved exactly as they pop.
+            batch = []  # (node, phases, child splits)
+            planned = 0
+            truncated = False
+            while queue and len(batch) < self.frontier_size and not truncated:
+                if budget.exhausted():
+                    if batch:
+                        break  # charge the gathered batch; TIMEOUT surfaces next round
                     return self._finish(VerificationStatus.TIMEOUT, budget, appver,
                                         statistics, bound=root_outcome.p_hat)
-                budget.charge_node()
-                child = BaBNode(child_splits, depth=node.depth + 1, outcome=outcome,
-                                parent=node)
-                node.children.append(child)
-                if outcome.falsified:
-                    return self._finish(VerificationStatus.FALSIFIED, budget, appver,
-                                        statistics, counterexample=outcome.candidate,
-                                        bound=outcome.p_hat)
-                if outcome.verified or outcome.report.infeasible:
-                    statistics.nodes_verified += 1
+                node = queue.popleft() if self.exploration == "bfs" else queue.pop()
+                statistics.nodes_expanded += 1
+                statistics.record_depth(node.depth)
+
+                context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
+                                           report=node.outcome.report, splits=node.splits,
+                                           evaluate_split=self._make_probe(appver, budget))
+                neuron = heuristic.select(context)
+                if neuron is None:
+                    budget.charge_node()  # the leaf LP costs about one bound computation
+                    resolved, counterexample = self._resolve_leaf(appver, spec, node,
+                                                                  statistics)
+                    if counterexample is not None:
+                        return self._finish(VerificationStatus.FALSIFIED, budget, appver,
+                                            statistics, counterexample=counterexample)
+                    if not resolved:
+                        has_unknown_leaf = True
                     continue
-                queue.append(child)
+
+                node.branch_neuron = neuron
+                statistics.nodes_split += 1
+                phases = affordable_phases(budget, planned)
+                if not phases:
+                    if not batch:
+                        return self._finish(VerificationStatus.TIMEOUT, budget, appver,
+                                            statistics, bound=root_outcome.p_hat)
+                    # No budget left for this node's children: undo the pop.
+                    # The node stays queued so the unresolved sub-problem
+                    # keeps the loop alive and exhaustion surfaces as TIMEOUT
+                    # — never as a spurious VERIFIED from an emptied queue.
+                    statistics.nodes_expanded -= 1
+                    statistics.nodes_split -= 1
+                    if self.exploration == "bfs":
+                        queue.appendleft(node)
+                    else:
+                        queue.append(node)
+                    break
+                truncated = len(phases) < 2
+                batch.append((node, phases,
+                              [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
+                               for phase in phases]))
+                planned += len(phases)
+            if not batch:
+                continue  # this round only resolved leaves
+
+            # One batched AppVer call bounds the children of the whole frontier.
+            flat_splits = [splits for _, _, child_splits in batch
+                           for splits in child_splits]
+            outcomes = appver.evaluate_batch(flat_splits)
+            position = 0
+            first_child = True
+            for node, phases, child_splits in batch:
+                for offset, splits in enumerate(child_splits):
+                    if not first_child and budget.exhausted():
+                        return self._finish(VerificationStatus.TIMEOUT, budget, appver,
+                                            statistics, bound=root_outcome.p_hat)
+                    outcome = outcomes[position + offset]
+                    budget.charge_node()
+                    first_child = False
+                    child = BaBNode(splits, depth=node.depth + 1, outcome=outcome,
+                                    parent=node)
+                    node.children.append(child)
+                    if outcome.falsified:
+                        return self._finish(VerificationStatus.FALSIFIED, budget, appver,
+                                            statistics, counterexample=outcome.candidate,
+                                            bound=outcome.p_hat)
+                    if outcome.verified or outcome.report.infeasible:
+                        statistics.nodes_verified += 1
+                        continue
+                    queue.append(child)
+                position += len(child_splits)
             if truncated:
                 return self._finish(VerificationStatus.TIMEOUT, budget, appver,
                                     statistics, bound=root_outcome.p_hat)
@@ -169,6 +213,9 @@ class BaBBaselineVerifier(Verifier):
                 counterexample: Optional[np.ndarray] = None,
                 bound: Optional[float] = None) -> VerificationResult:
         statistics.tree_size = appver.num_calls
+        extras = statistics.as_dict()
+        extras["frontier_size"] = self.frontier_size
+        extras["bound_cache"] = appver.cache_stats()
         return VerificationResult(
             status=status,
             verifier=self.name,
@@ -177,5 +224,5 @@ class BaBBaselineVerifier(Verifier):
             tree_size=appver.num_calls,
             counterexample=counterexample,
             bound=bound,
-            extras=statistics.as_dict(),
+            extras=extras,
         )

@@ -14,7 +14,11 @@ the behaviours that matter for that comparison:
 * **bound-ordered best-first BaB** — remaining sub-problems are explored
   best-first by their bound (most-violated first), with per-neuron split
   constraints tightening the child bounds (the role β plays in the original
-  tool) and LP resolution of fully-decided leaves.
+  tool) and LP resolution of fully-decided leaves.  ``frontier_size`` pops
+  the top-``K`` most-violated sub-problems per round and bounds all of
+  their children through one batched AppVer call (the original tool batches
+  hundreds of domains per GPU pass the same way); ``K=1`` is exactly the
+  sequential loop.
 
 Node-budget accounting: one α-CROWN evaluation internally performs several
 bound computations (the SPSA iterations), so it is charged accordingly —
@@ -41,6 +45,7 @@ from repro.verifiers.appver import (
     affordable_phases,
 )
 from repro.verifiers.attack import AttackConfig, pgd_attack
+from repro.utils.validation import require
 from repro.verifiers.milp import solve_leaf_lp
 from repro.verifiers.result import (
     VerificationResult,
@@ -58,11 +63,14 @@ class AlphaBetaCrownVerifier(Verifier):
     def __init__(self, heuristic: str = "deepsplit",
                  attack_config: Optional[AttackConfig] = None,
                  alpha_config: Optional[AlphaCrownConfig] = None,
-                 lp_leaf_refinement: bool = True) -> None:
+                 lp_leaf_refinement: bool = True,
+                 frontier_size: int = 1) -> None:
+        require(frontier_size >= 1, "frontier_size must be positive")
         self.heuristic_name = heuristic
         self.attack_config = attack_config or AttackConfig(steps=25, restarts=3)
         self.alpha_config = alpha_config or AlphaCrownConfig(iterations=6)
         self.lp_leaf_refinement = lp_leaf_refinement
+        self.frontier_size = frontier_size
 
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
@@ -104,44 +112,75 @@ class AlphaBetaCrownVerifier(Verifier):
             if budget.exhausted():
                 return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
                                     bound=root_outcome.p_hat)
-            _, _, splits, outcome = heapq.heappop(heap)
-            context = BranchingContext(network=sub_appver.lowered, spec=spec.output_spec,
-                                       report=outcome.report, splits=splits)
-            neuron = heuristic.select(context)
-            if neuron is None:
-                budget.charge_node()  # the leaf LP costs about one bound computation
-                verdict, counterexample = self._resolve_leaf(sub_appver, spec, splits,
-                                                             outcome)
-                if counterexample is not None:
-                    return self._finish(VerificationStatus.FALSIFIED, budget,
-                                        budget.nodes, counterexample=counterexample)
-                if verdict is None:
-                    has_unknown_leaf = True
-                continue
-            phases = affordable_phases(budget)
-            if not phases:
-                return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
-                                    bound=root_outcome.p_hat)
-            truncated = len(phases) < 2
-            children = [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
-                        for phase in phases]
-            # One batched AppVer call bounds both phase-split children together.
-            child_outcomes = sub_appver.evaluate_batch(children)
-            for position, (child_splits, child_outcome) in enumerate(zip(children,
-                                                                         child_outcomes)):
-                if position and budget.exhausted():
+            # Gather the top-``frontier_size`` most-violated sub-problems;
+            # fully-decided leaves are resolved exactly as they pop.
+            batch = []  # (splits, phases, child splits)
+            planned = 0
+            truncated = False
+            while heap and len(batch) < self.frontier_size and not truncated:
+                if budget.exhausted():
+                    if batch:
+                        break  # charge the gathered batch; TIMEOUT surfaces next round
                     return self._finish(VerificationStatus.TIMEOUT, budget,
                                         budget.nodes, bound=root_outcome.p_hat)
-                budget.charge_node()
-                if child_outcome.falsified:
-                    return self._finish(VerificationStatus.FALSIFIED, budget,
-                                        budget.nodes,
-                                        counterexample=child_outcome.candidate,
-                                        bound=child_outcome.p_hat)
-                if child_outcome.verified or child_outcome.report.infeasible:
+                entry = heapq.heappop(heap)
+                _, _, splits, outcome = entry
+                context = BranchingContext(network=sub_appver.lowered,
+                                           spec=spec.output_spec,
+                                           report=outcome.report, splits=splits)
+                neuron = heuristic.select(context)
+                if neuron is None:
+                    budget.charge_node()  # the leaf LP costs about one bound computation
+                    verdict, counterexample = self._resolve_leaf(sub_appver, spec,
+                                                                 splits, outcome)
+                    if counterexample is not None:
+                        return self._finish(VerificationStatus.FALSIFIED, budget,
+                                            budget.nodes, counterexample=counterexample)
+                    if verdict is None:
+                        has_unknown_leaf = True
                     continue
-                heapq.heappush(heap, (child_outcome.p_hat, next(counter),
-                                      child_splits, child_outcome))
+                phases = affordable_phases(budget, planned)
+                if not phases:
+                    if not batch:
+                        return self._finish(VerificationStatus.TIMEOUT, budget,
+                                            budget.nodes, bound=root_outcome.p_hat)
+                    # No budget left for this sub-problem's children: push it
+                    # back.  The unresolved sub-problem keeps the heap
+                    # non-empty so exhaustion surfaces as TIMEOUT — never as
+                    # a spurious VERIFIED from an emptied heap.
+                    heapq.heappush(heap, entry)
+                    break
+                truncated = len(phases) < 2
+                batch.append((splits, phases,
+                              [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
+                               for phase in phases]))
+                planned += len(phases)
+            if not batch:
+                continue  # this round only resolved leaves
+
+            # One batched AppVer call bounds the children of the whole frontier.
+            flat_splits = [child for _, _, children in batch for child in children]
+            child_outcomes = sub_appver.evaluate_batch(flat_splits)
+            position = 0
+            first_child = True
+            for _, phases, children in batch:
+                for offset, child_splits in enumerate(children):
+                    if not first_child and budget.exhausted():
+                        return self._finish(VerificationStatus.TIMEOUT, budget,
+                                            budget.nodes, bound=root_outcome.p_hat)
+                    child_outcome = child_outcomes[position + offset]
+                    budget.charge_node()
+                    first_child = False
+                    if child_outcome.falsified:
+                        return self._finish(VerificationStatus.FALSIFIED, budget,
+                                            budget.nodes,
+                                            counterexample=child_outcome.candidate,
+                                            bound=child_outcome.p_hat)
+                    if child_outcome.verified or child_outcome.report.infeasible:
+                        continue
+                    heapq.heappush(heap, (child_outcome.p_hat, next(counter),
+                                          child_splits, child_outcome))
+                position += len(children)
             if truncated:
                 return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
                                     bound=root_outcome.p_hat)
@@ -179,5 +218,6 @@ class AlphaBetaCrownVerifier(Verifier):
             counterexample=counterexample,
             bound=bound,
             extras={"heuristic": self.heuristic_name,
-                    "alpha_iterations": self.alpha_config.iterations},
+                    "alpha_iterations": self.alpha_config.iterations,
+                    "frontier_size": self.frontier_size},
         )

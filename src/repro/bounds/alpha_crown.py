@@ -14,6 +14,16 @@ estimates the gradient of ``p̂`` with two bound evaluations under a random
 laptop-scale networks used here a handful of iterations recovers most of the
 gap between DeepPoly and the fully optimised bound, which is what matters
 for the baseline comparison.
+
+:meth:`AlphaCrownAnalyzer.analyze_batch` runs the same optimisation for
+``B`` sub-problems at once: because each sequential :meth:`analyze` call
+seeds a fresh RNG, every sub-problem sees the *same* ±1 perturbation
+direction sequence, so one shared draw per iteration serves the whole batch
+and all ``2B`` perturbed objectives evaluate through one stacked DeepPoly
+pass (:meth:`~repro.bounds.deeppoly.DeepPolyAnalyzer.analyze_batch` with
+batched ``lower_slopes``).  Ascent steps and best-so-far tracking are
+per-element, so results match the per-element loop up to batched-matmul
+float noise.
 """
 
 from __future__ import annotations
@@ -107,6 +117,90 @@ class AlphaCrownAnalyzer:
                                      lower_slopes=best_slopes)
         report.method = "alpha-crown"
         return report
+
+    # -- batched optimisation ---------------------------------------------------
+    def _objective_batch(self, box: InputBox,
+                         splits_list: Sequence[SplitAssignment],
+                         spec: LinearOutputSpec,
+                         slopes: Sequence[np.ndarray]) -> np.ndarray:
+        """Per-element ``p̂`` of one stacked bound evaluation, shape ``(B,)``."""
+        reports = self._inner.analyze_batch(box, splits_list, spec=spec,
+                                            lower_slopes=slopes)
+        return np.array([float("-inf") if report.p_hat is None
+                         else float(report.p_hat) for report in reports])
+
+    def analyze_batch(self, box: InputBox,
+                      splits_list: Sequence[Optional[SplitAssignment]],
+                      spec: Optional[LinearOutputSpec] = None,
+                      rng: SeedLike = None) -> List[BoundReport]:
+        """Optimise slopes for ``B`` sub-problems in stacked SPSA passes.
+
+        Equivalent to ``[self.analyze(box, s, spec) for s in splits_list]``
+        up to batched-matmul floating-point noise: the per-element loop
+        reseeds its RNG for every sub-problem, so all sub-problems share one
+        perturbation-direction sequence, which is exactly what one shared
+        draw per iteration reproduces.  Instead of ``B`` independent SPSA
+        loops of ``3`` bound computations per iteration, each iteration runs
+        three stacked :meth:`DeepPolyAnalyzer.analyze_batch` passes over the
+        whole batch.
+        """
+        splits_list = [s or SplitAssignment.empty() for s in splits_list]
+        if not splits_list:
+            return []
+        if spec is None or self.config.iterations == 0:
+            reports = self._inner.analyze_batch(box, splits_list, spec=spec)
+            for report in reports:
+                report.method = "alpha-crown"
+            return reports
+
+        rng = as_rng(self.config.seed if rng is None else rng)
+        # Start from the DeepPoly heuristic slopes of a plain stacked analysis.
+        initial_reports = self._inner.analyze_batch(box, splits_list)
+        slopes: List[np.ndarray] = []
+        for layer in range(self.network.num_relu_layers):
+            slopes.append(np.stack([
+                default_lower_slope(report.pre_activation_bounds[layer].lower,
+                                    report.pre_activation_bounds[layer].upper)
+                for report in initial_reports]))
+        best_slopes = [s.copy() for s in slopes]
+        best_value = self._objective_batch(box, splits_list, spec, slopes)
+
+        for iteration in range(self.config.iterations):
+            # One shared ±1 draw per layer — the same directions every
+            # sequential call would draw from its freshly seeded RNG.
+            directions = [np.broadcast_to(
+                rng.choice([-1.0, 1.0], size=s.shape[1:]), s.shape)
+                for s in slopes]
+            delta = self.config.perturbation
+            plus = [np.clip(s + delta * d, 0.0, 1.0)
+                    for s, d in zip(slopes, directions)]
+            minus = [np.clip(s - delta * d, 0.0, 1.0)
+                     for s, d in zip(slopes, directions)]
+            value_plus = self._objective_batch(box, splits_list, spec, plus)
+            value_minus = self._objective_batch(box, splits_list, spec, minus)
+            with np.errstate(invalid="ignore"):
+                gradient_scale = (value_plus - value_minus) / (2.0 * delta)
+            step = self.config.step_size / np.sqrt(iteration + 1.0)
+            slopes = [np.clip(s + step * gradient_scale[:, None] * d, 0.0, 1.0)
+                      for s, d in zip(slopes, directions)]
+            value = self._objective_batch(box, splits_list, spec, slopes)
+            for candidate_value, candidate_slopes in ((value_plus, plus),
+                                                      (value_minus, minus),
+                                                      (value, slopes)):
+                with np.errstate(invalid="ignore"):
+                    improved = candidate_value > best_value
+                if not np.any(improved):
+                    continue
+                best_value = np.where(improved, candidate_value, best_value)
+                for layer, candidate in enumerate(candidate_slopes):
+                    best_slopes[layer] = np.where(improved[:, None], candidate,
+                                                  best_slopes[layer])
+
+        reports = self._inner.analyze_batch(box, splits_list, spec=spec,
+                                            lower_slopes=best_slopes)
+        for report in reports:
+            report.method = "alpha-crown"
+        return reports
 
 
 def alpha_crown_bounds(network: LoweredNetwork, box: InputBox,

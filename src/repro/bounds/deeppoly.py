@@ -335,7 +335,9 @@ class DeepPolyAnalyzer:
     def analyze_batch(self, box: InputBox,
                       splits_list: Sequence[Optional[SplitAssignment]],
                       spec: Optional[LinearOutputSpec] = None,
-                      cache: Optional[BoundCache] = None) -> List[BoundReport]:
+                      cache: Optional[BoundCache] = None,
+                      lower_slopes: Optional[Sequence[np.ndarray]] = None
+                      ) -> List[BoundReport]:
         """Analyse ``B`` sub-problems of the same box in one batched pass.
 
         Semantically equivalent to ``[self.analyze(box, s, spec) for s in
@@ -344,6 +346,13 @@ class DeepPolyAnalyzer:
         sub-problems runs through shared, stacked matmuls.  With a ``cache``,
         sub-problems whose layer prefixes (or whole assignment) were seen
         before skip straight past the memoised layers.
+
+        ``lower_slopes`` optionally supplies one ``(B, width_layer)`` array
+        per hidden layer of unstable lower-relaxation slopes in ``[0, 1]``
+        (row ``b`` applies to ``splits_list[b]``) — the batched counterpart
+        of :meth:`analyze`'s ``lower_slopes``, used by the batched α-CROWN
+        optimiser.  As in the sequential path, supplying slopes bypasses the
+        cache entirely.
         """
         network = self.network
         require(box.dimension == network.input_dim,
@@ -352,9 +361,13 @@ class DeepPolyAnalyzer:
         batch_size = len(splits_list)
         if batch_size == 0:
             return []
+        if lower_slopes is not None:
+            require(len(lower_slopes) == network.num_relu_layers,
+                    "lower_slopes must provide one array per hidden layer")
+        use_cache = cache is not None and lower_slopes is None
 
         reports: List[Optional[BoundReport]] = [None] * batch_size
-        if cache is not None:
+        if use_cache:
             for index, splits in enumerate(splits_list):
                 cached = cache.get_report(splits.canonical_key(), spec is not None)
                 if cached is not None:
@@ -365,10 +378,12 @@ class DeepPolyAnalyzer:
         sub = [splits_list[index] for index in pending]
         count = len(sub)
 
-        # Per layer, stacked (count, width) state of every pending sub-problem.
-        lower_slopes: List[np.ndarray] = []
-        upper_slopes: List[np.ndarray] = []
-        upper_intercepts: List[np.ndarray] = []
+        # Per layer, stacked (count, width) relaxation state of every pending
+        # sub-problem (named ``relax_*`` to keep them distinct from the
+        # ``lower_slopes`` override parameter).
+        relax_lower_slopes: List[np.ndarray] = []
+        relax_upper_slopes: List[np.ndarray] = []
+        relax_upper_intercepts: List[np.ndarray] = []
         lower_layers: List[np.ndarray] = []
         upper_layers: List[np.ndarray] = []
         infeasible = np.zeros(count, dtype=bool)
@@ -386,7 +401,7 @@ class DeepPolyAnalyzer:
 
             keys = None
             miss = list(range(count))
-            if cache is not None:
+            if use_cache:
                 keys = [splits.prefix_key(layer) for splits in sub]
                 miss = []
                 for row in range(count):
@@ -407,22 +422,31 @@ class DeepPolyAnalyzer:
                 constants = np.broadcast_to(bias, (len(miss), bias.shape[0]))
                 miss_lower, miss_upper, _ = self._bound_expression_batch(
                     coefficients, constants, layer - 1,
-                    [a[idx] for a in lower_slopes],
-                    [a[idx] for a in upper_slopes],
-                    [a[idx] for a in upper_intercepts], box)
+                    [a[idx] for a in relax_lower_slopes],
+                    [a[idx] for a in relax_upper_slopes],
+                    [a[idx] for a in relax_upper_intercepts], box)
                 phases = stacked_phase_array([sub[row] for row in miss],
                                              layer, width)
                 miss_lower, miss_upper, inconsistent = clip_bounds_with_phases(
                     miss_lower, miss_upper, phases)
+                miss_slopes = None
+                if lower_slopes is not None:
+                    layer_slopes = np.clip(
+                        np.asarray(lower_slopes[layer], dtype=float), 0.0, 1.0)
+                    require(layer_slopes.shape == (batch_size, width),
+                            f"lower_slopes for layer {layer} must have shape "
+                            f"{(batch_size, width)}")
+                    miss_slopes = layer_slopes[
+                        np.asarray([pending[row] for row in miss], dtype=int)]
                 miss_ls, miss_us, miss_ui = _relaxation_arrays(
-                    miss_lower, miss_upper, phases, None)
+                    miss_lower, miss_upper, phases, miss_slopes)
                 lower[idx] = miss_lower
                 upper[idx] = miss_upper
                 ls[idx] = miss_ls
                 us[idx] = miss_us
                 ui[idx] = miss_ui
                 layer_infeasible[idx] = inconsistent
-                if cache is not None:
+                if use_cache:
                     for position, row in enumerate(miss):
                         cache.put_layer(layer, keys[row], LayerEntry(
                             miss_lower[position].copy(), miss_upper[position].copy(),
@@ -432,9 +456,9 @@ class DeepPolyAnalyzer:
             infeasible |= layer_infeasible
             lower_layers.append(lower)
             upper_layers.append(upper)
-            lower_slopes.append(ls)
-            upper_slopes.append(us)
-            upper_intercepts.append(ui)
+            relax_lower_slopes.append(ls)
+            relax_upper_slopes.append(us)
+            relax_upper_intercepts.append(ui)
 
         last_hidden = network.num_relu_layers - 1
         output_coefficients = np.broadcast_to(
@@ -443,7 +467,7 @@ class DeepPolyAnalyzer:
             network.biases[-1], (count, network.biases[-1].shape[0]))
         output_lower, output_upper, _ = self._bound_expression_batch(
             output_coefficients, output_constants, last_hidden,
-            lower_slopes, upper_slopes, upper_intercepts, box)
+            relax_lower_slopes, relax_upper_slopes, relax_upper_intercepts, box)
 
         spec_lower = None
         candidates = None
@@ -456,7 +480,8 @@ class DeepPolyAnalyzer:
             spec_lower, _, lower_form = self._bound_expression_batch(
                 np.broadcast_to(coefficients, (count,) + coefficients.shape),
                 np.broadcast_to(constants, (count,) + constants.shape),
-                last_hidden, lower_slopes, upper_slopes, upper_intercepts, box)
+                last_hidden, relax_lower_slopes, relax_upper_slopes,
+                relax_upper_intercepts, box)
             worst_rows = np.argmin(spec_lower, axis=1)
             candidates = lower_form.minimizers(box, worst_rows)
 
@@ -480,7 +505,7 @@ class DeepPolyAnalyzer:
                                  candidate_input=candidate,
                                  infeasible=bool(infeasible[position]),
                                  method="deeppoly")
-            if cache is not None:
+            if use_cache:
                 cache.put_report(sub[position].canonical_key(), spec is not None,
                                  _copy_report(report))
             reports[index] = report

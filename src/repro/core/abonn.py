@@ -1,11 +1,17 @@
 """ABONN: Adaptive BaB with Order for Neural Network verification (Alg. 1).
 
 ABONN explores the BaB sub-problem space in an MCTS style.  Every iteration
-descends from the root along UCB1-selected children until it reaches an
-unexpanded node, expands that node's two phase-split children with AppVer,
-scores them with the counterexample potentiality (Def. 1), and
-back-propagates rewards (max over children) and subtree sizes towards the
-root.  The run terminates as soon as
+selects up to ``frontier_size`` distinct unexpanded nodes by repeated UCB1
+descent from the root (with virtual-loss exclusion so the selections spread
+over the tree), expands all of their phase-split children through **one**
+batched AppVer call, scores the children with the counterexample
+potentiality (Def. 1), and back-propagates rewards (max over children) and
+subtree sizes towards the root.  With ``frontier_size=1`` (the default)
+this is exactly the sequential Alg. 1 loop; larger frontiers feed the
+batched bound back-ends realised batch sizes of up to ``2 * frontier_size``
+while preserving the sequential per-child budget semantics at node and
+wall-clock boundaries (see ``docs/BATCHING.md``).  The run terminates as
+soon as
 
 * ``R(ε) = +inf`` — a real counterexample was found (verdict ``false``),
 * ``R(ε) = -inf`` — every sub-problem is verified (verdict ``true``), or
@@ -23,9 +29,10 @@ from repro.bounds.splits import ReluSplit, SplitAssignment
 from repro.core.config import AbonnConfig
 from repro.core.mcts import (
     MctsNode,
+    descend_to_leaf,
     propagate_rewards,
     propagate_sizes,
-    select_child,
+    select_frontier,
 )
 from repro.core.potentiality import PotentialityScorer
 from repro.nn.network import Network
@@ -83,9 +90,10 @@ class AbonnVerifier(Verifier):
         self._max_depth = 0
         self._lp_leaves = 0
 
-        # Main loop (Alg. 1 lines 4-7).
+        # Main loop (Alg. 1 lines 4-7), expanding up to ``frontier_size``
+        # leaves per iteration through one batched AppVer call.
         while not budget.exhausted():
-            self._mcts_bab(root, appver, heuristic, scorer, spec, budget)
+            self._frontier_step(root, appver, heuristic, scorer, spec, budget)
             if root.reward == float("inf"):
                 return self._finish(VerificationStatus.FALSIFIED, appver, budget,
                                     counterexample=root.counterexample,
@@ -97,50 +105,97 @@ class AbonnVerifier(Verifier):
         return self._finish(VerificationStatus.TIMEOUT, appver, budget,
                             max_depth=self._max_depth)
 
-    # -- one MCTS-BaB iteration (Alg. 1 lines 10-21) ---------------------------
-    def _mcts_bab(self, node: MctsNode, appver: ApproximateVerifier,
-                  heuristic: BranchingHeuristic, scorer: PotentialityScorer,
-                  spec: Specification, budget: Budget) -> None:
-        if node.is_expanded:
-            # Selection: descend along UCB1 (Alg. 1 lines 12-14).
-            child = select_child(node, self.config.exploration)
-            if child is None:
-                # Every branch below is verified; back-propagate -inf.
-                propagate_rewards(node)
-                return
-            self._mcts_bab(child, appver, heuristic, scorer, spec, budget)
+    # -- one frontier-wide MCTS-BaB iteration (Alg. 1 lines 10-21) -------------
+    def _frontier_step(self, root: MctsNode, appver: ApproximateVerifier,
+                       heuristic: BranchingHeuristic, scorer: PotentialityScorer,
+                       spec: Specification, budget: Budget) -> None:
+        """Select up to ``frontier_size`` leaves and expand them in one batch.
+
+        With ``frontier_size=1`` this reproduces the sequential iteration
+        exactly: one UCB1 descent, one (≤ 2-child) batched expansion, one
+        back-propagation, with identical budget charges at identical points.
+        """
+        # Selection (Alg. 1 lines 12-14), frontier-wide with virtual loss.
+        leaves = select_frontier(root, self.config.exploration,
+                                 self.config.frontier_size)
+        if not leaves:
+            # The descent dead-ends: every reachable branch is verified.
+            # Back-propagate -inf from the dead end, as the sequential loop
+            # does.  The repeated descent is sound because select_frontier
+            # restored all virtual state and UCB1 descent is deterministic:
+            # it reaches the same dead end select_frontier found.
+            propagate_rewards(descend_to_leaf(root, self.config.exploration))
             return
 
-        # Expansion (Alg. 1 lines 15-21).
-        context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
-                                   report=node.outcome.report, splits=node.splits,
-                                   evaluate_split=self._make_probe(appver, budget))
-        neuron = heuristic.select(context)
-        if neuron is None:
-            budget.charge_node()  # the leaf LP costs about one bound computation
-            self._resolve_leaf(node, appver, spec)
-            propagate_rewards(node.parent or node)
+        # Expansion planning (Alg. 1 lines 15-16): pick each leaf's branch
+        # neuron; fully phase-decided leaves are resolved exactly right away.
+        expansions = []
+        planned = 0
+        for index, leaf in enumerate(leaves):
+            if root.reward == float("inf"):
+                return  # a leaf LP just produced a real counterexample
+            if index:
+                # Sequential iterations re-check the budget before every
+                # leaf; charges already committed for earlier expansions
+                # (``planned``) count against the node headroom too.
+                remaining = budget.remaining_nodes()
+                if budget.exhausted() or (remaining is not None
+                                          and remaining <= planned):
+                    break
+            context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
+                                       report=leaf.outcome.report, splits=leaf.splits,
+                                       evaluate_split=self._make_probe(appver, budget))
+            neuron = heuristic.select(context)
+            if neuron is None:
+                budget.charge_node()  # the leaf LP costs about one bound computation
+                self._resolve_leaf(leaf, appver, spec)
+                propagate_rewards(leaf.parent or leaf)
+                continue
+            phases = affordable_phases(budget, planned)
+            if not phases:
+                break  # the node budget affords no further children
+            leaf.branch_neuron = neuron
+            child_splits = [leaf.splits.with_split(
+                ReluSplit(neuron[0], neuron[1], phase)) for phase in phases]
+            expansions.append((leaf, phases, child_splits))
+            planned += len(phases)
+            if len(phases) < 2:
+                break  # only a truncated expansion was affordable
+        if root.reward == float("inf"):
+            return  # the last leaf's LP falsified; skip the planned expansions
+        if not expansions:
             return
 
-        node.branch_neuron = neuron
-        phases = affordable_phases(budget)
-        child_splits = [node.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
-                        for phase in phases]
-        # One batched AppVer call bounds both phase-split children together.
-        outcomes = appver.evaluate_batch(child_splits)
-        added = 0
-        for phase, splits, outcome in zip(phases, child_splits, outcomes):
-            if added and budget.exhausted():
-                break  # the wall clock ran out between the siblings
-            budget.charge_node()
-            scorer.observe(outcome.p_hat)
-            child = self._make_child(node, splits, outcome, scorer)
-            node.children[phase] = child
-            added += 1
-            self._max_depth = max(self._max_depth, child.depth)
-        if added:
-            propagate_sizes(node, added)
-            propagate_rewards(node)
+        # Expansion (Alg. 1 lines 17-19): one batched AppVer call bounds the
+        # phase-split children of the whole frontier together.
+        flat_splits = [splits for _, _, child_splits in expansions
+                       for splits in child_splits]
+        outcomes = appver.evaluate_batch(flat_splits)
+
+        # Attachment and back-propagation (Alg. 1 lines 20-21), preserving
+        # the sequential per-child wall-clock checks between siblings and
+        # between frontier leaves.
+        position = 0
+        for index, (leaf, phases, child_splits) in enumerate(expansions):
+            if index and budget.exhausted():
+                break  # the wall clock ran out between frontier leaves
+            added = 0
+            for offset, (phase, splits) in enumerate(zip(phases, child_splits)):
+                if added and budget.exhausted():
+                    break  # the wall clock ran out between the siblings
+                outcome = outcomes[position + offset]
+                budget.charge_node()
+                scorer.observe(outcome.p_hat)
+                child = self._make_child(leaf, splits, outcome, scorer)
+                leaf.children[phase] = child
+                added += 1
+                self._max_depth = max(self._max_depth, child.depth)
+            position += len(phases)
+            if added:
+                propagate_sizes(leaf, added)
+                propagate_rewards(leaf)
+            if root.reward == float("inf"):
+                break  # a real counterexample surfaced; stop attaching more
 
     def _make_child(self, parent: MctsNode, splits: SplitAssignment,
                     outcome: AppVerOutcome, scorer: PotentialityScorer) -> MctsNode:
@@ -201,6 +256,7 @@ class AbonnVerifier(Verifier):
                 "lambda": self.config.lam,
                 "exploration": self.config.exploration,
                 "heuristic": self.config.heuristic,
+                "frontier_size": self.config.frontier_size,
                 "lp_leaves_resolved": getattr(self, "_lp_leaves", 0),
                 "bound_cache": appver.cache_stats(),
             },

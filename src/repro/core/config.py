@@ -32,6 +32,16 @@ class AbonnConfig:
         :mod:`repro.bab.heuristics`); the paper uses DeepSplit.
     bound_method:
         AppVer back-end: ``"deeppoly"`` (default), ``"alpha-crown"``, ``"ibp"``.
+    frontier_size:
+        ``K`` — the number of distinct MCTS leaves expanded per iteration.
+        Each iteration selects up to ``K`` leaves by repeated UCB1 descent
+        (with virtual-loss exclusion so selections spread over the tree) and
+        bounds all of their phase-split children through **one**
+        ``evaluate_batch`` call of up to ``2K`` sub-problems.  ``K=1``
+        (default) reproduces the sequential Alg. 1 loop exactly; larger
+        values trade strict selection order for realised AppVer batch sizes
+        that actually reach the batched back-end's throughput regime.
+        Verdicts remain sound for every ``K``.
     lp_leaf_refinement:
         Resolve fully phase-decided leaves exactly with an LP (keeps the
         procedure complete, mirroring the paper's GUROBI back-end).
@@ -47,6 +57,7 @@ class AbonnConfig:
     exploration: float = DEFAULT_EXPLORATION
     heuristic: str = "deepsplit"
     bound_method: str = "deeppoly"
+    frontier_size: int = 1
     lp_leaf_refinement: bool = True
     alpha_config: Optional[AlphaCrownConfig] = None
     use_bound_cache: bool = True
@@ -56,3 +67,4 @@ class AbonnConfig:
         require(0.0 <= self.lam <= 1.0, "lam must be in [0, 1]")
         require(self.exploration >= 0.0, "exploration must be non-negative")
         require(self.bound_cache_size >= 1, "bound_cache_size must be positive")
+        require(self.frontier_size >= 1, "frontier_size must be positive")

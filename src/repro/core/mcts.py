@@ -118,6 +118,61 @@ def select_child(node: MctsNode, exploration: float) -> Optional[MctsNode]:
     return best_child
 
 
+def descend_to_leaf(node: MctsNode, exploration: float) -> MctsNode:
+    """Follow UCB1 selections from ``node`` downwards (Alg. 1 lines 12-14).
+
+    Returns either an unexpanded node (the next node to expand) or an
+    *expanded* dead end whose children are all exhausted (reward ``-inf``);
+    callers distinguish the two via :attr:`MctsNode.is_expanded` and should
+    back-propagate from a dead end.
+    """
+    current = node
+    while current.is_expanded:
+        child = select_child(current, exploration)
+        if child is None:
+            return current
+        current = child
+    return current
+
+
+def select_frontier(root: MctsNode, exploration: float,
+                    limit: int) -> List[MctsNode]:
+    """Select up to ``limit`` *distinct* unexpanded nodes for batched expansion.
+
+    Repeats the UCB1 descent of Alg. 1 with a virtual-loss / exclusion scheme
+    so the selections do not collapse onto one path: each selected leaf's
+    reward is temporarily forced to ``-inf`` (so no later descent re-enters
+    it), one virtual visit is added along its path, and the ancestors'
+    rewards are refreshed to steer later descents away from fully excluded
+    subtrees.  All virtual state is restored before returning, so the tree
+    the caller sees is exactly the tree before the call.
+
+    With ``limit=1`` this is precisely one sequential UCB1 selection.
+    """
+    require(limit >= 1, "frontier limit must be positive")
+    selected: List[MctsNode] = []
+    saved_rewards: List[Tuple[MctsNode, float]] = []
+    while len(selected) < limit:
+        leaf = descend_to_leaf(root, exploration)
+        if leaf.is_expanded or any(leaf is node for node in selected):
+            # Dead end (all reachable subtrees virtually excluded or
+            # exhausted), or an unexpanded root re-selected: stop early.
+            break
+        selected.append(leaf)
+        saved_rewards.append((leaf, leaf.reward))
+        leaf.reward = float("-inf")
+        propagate_sizes(leaf, 1)
+        propagate_rewards(leaf.parent or leaf)
+    # Undo the virtual loss: restore leaf rewards, remove virtual visits,
+    # then recompute ancestor rewards from the restored children.
+    for leaf, reward in saved_rewards:
+        leaf.reward = reward
+        propagate_sizes(leaf, -1)
+    for leaf, _ in saved_rewards:
+        propagate_rewards(leaf.parent or leaf)
+    return selected
+
+
 def propagate_sizes(node: MctsNode, added: int) -> None:
     """Add ``added`` new nodes to the subtree sizes of ``node`` and its ancestors."""
     current: Optional[MctsNode] = node

@@ -12,11 +12,14 @@ This module wraps the bound-propagation analysers of :mod:`repro.bounds`
 behind that interface and counts calls, which is how all verifiers charge
 their node budgets.
 
-Two throughput features back the hot path:
+Two throughput features back the hot path (see ``docs/BATCHING.md``):
 
 * :meth:`ApproximateVerifier.evaluate_batch` bounds ``B`` sub-problems in
-  one batched backward pass (the two phase-split children of a BaB
-  expansion, a beam of candidate splits, ...);
+  one batched pass for every back-end — DeepPoly and IBP via a leading
+  batch axis through the backward substitution, α-CROWN via stacked SPSA
+  slope optimisation.  The frontier-wide drivers feed it the phase-split
+  children of up to ``frontier_size`` nodes at once, and the realised batch
+  sizes are recorded in :attr:`ApproximateVerifier.batch_histogram`;
 * a split-aware :class:`~repro.bounds.cache.BoundCache` (on by default)
   memoises per-layer pre-activation bounds keyed by the split-assignment
   prefix relevant to each layer, plus whole reports keyed by the full
@@ -26,6 +29,7 @@ Two throughput features back the hot path:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -46,18 +50,29 @@ from repro.utils.validation import require
 BOUND_METHODS = ("deeppoly", "alpha-crown", "ibp")
 
 
-def affordable_phases(budget: Budget) -> tuple:
+def affordable_phases(budget: Budget, planned: int = 0) -> tuple:
     """The phase-split children a node budget still pays for.
 
     Mirrors the sequential per-child exhaustion check of the BaB drivers:
     no children once the budget is spent, only the ``r+`` child when a
     single node charge remains, both otherwise.  Wall-clock exhaustion is
     re-checked by the drivers between the children they process.
+
+    ``planned`` is the number of node charges a frontier driver has already
+    committed (but not yet charged) for earlier leaves of the same batched
+    expansion; with ``planned=0`` this is exactly the sequential rule.  The
+    per-child budget semantics are therefore identical whether children are
+    expanded one node at a time or frontier-wide.
     """
     if budget.exhausted():
         return ()
     remaining = budget.remaining_nodes()
-    if remaining is not None and remaining < 2:
+    if remaining is None:
+        return (ACTIVE, INACTIVE)
+    left = remaining - planned
+    if left < 1:
+        return ()
+    if left < 2:
         return (ACTIVE,)
     return (ACTIVE, INACTIVE)
 
@@ -126,6 +141,8 @@ class ApproximateVerifier:
         self.cache: Optional[BoundCache] = (BoundCache(cache_size) if use_cache
                                             else None)
         self.num_calls = 0
+        #: Realised ``evaluate_batch`` sizes: ``{batch_size: call_count}``.
+        self.batch_histogram: Counter = Counter()
 
     @property
     def num_relu_neurons(self) -> int:
@@ -167,9 +184,12 @@ class ApproximateVerifier:
         Returns one :class:`AppVerOutcome` per entry of ``splits_list``, in
         order, equal (to floating-point noise far below 1e-9) to what ``B``
         :meth:`evaluate` calls would return; each sub-problem is charged one
-        call.  The DeepPoly and IBP back-ends run a genuinely batched
-        backward pass; α-CROWN (whose SPSA slope optimisation is inherently
-        sequential) falls back to a per-element loop.
+        call.  All three back-ends run genuinely batched: DeepPoly and IBP
+        carry a leading batch axis through one backward pass, and α-CROWN
+        runs its SPSA slope optimisation for all ``B`` sub-problems at once
+        (shared perturbation draws, stacked objective evaluations — see
+        :meth:`~repro.bounds.alpha_crown.AlphaCrownAnalyzer.analyze_batch`).
+        The realised batch size is recorded in :attr:`batch_histogram`.
         """
         method = method or self.method
         require(method in BOUND_METHODS, f"unknown bound method {method!r}")
@@ -177,13 +197,13 @@ class ApproximateVerifier:
         self.num_calls += len(splits_list)
         if not splits_list:
             return []
+        self.batch_histogram[len(splits_list)] += 1
         if method == "ibp":
             reports = interval_bounds_batch(self.lowered, self.spec.input_box,
                                             splits_list, spec=self.spec.output_spec)
         elif method == "alpha-crown":
-            reports = [self._alpha.analyze(self.spec.input_box, splits=splits,
-                                           spec=self.spec.output_spec)
-                       for splits in splits_list]
+            reports = self._alpha.analyze_batch(self.spec.input_box, splits_list,
+                                                spec=self.spec.output_spec)
         else:
             reports = self._deeppoly.analyze_batch(self.spec.input_box, splits_list,
                                                    spec=self.spec.output_spec,
@@ -191,11 +211,32 @@ class ApproximateVerifier:
         return [self._outcome_from_report(report) for report in reports]
 
     def cache_stats(self) -> dict:
-        """Hit/miss counters of the bound cache (zeros when caching is off)."""
+        """Cache hit/miss counters plus the realised batch-size statistics.
+
+        The cache counters are zero when caching is off.  ``batch_histogram``
+        maps each realised :meth:`evaluate_batch` size to how many calls used
+        it, and ``mean_realised_batch`` is the mean batch size over those
+        calls (0.0 before any batched call) — this is how frontier drivers
+        make the batch sizes they actually achieve observable.
+        """
         if self.cache is None:
-            return {"layer_hits": 0, "layer_misses": 0, "report_hits": 0,
-                    "report_misses": 0, "evictions": 0}
-        return self.cache.stats.as_dict()
+            stats = {"layer_hits": 0, "layer_misses": 0, "report_hits": 0,
+                     "report_misses": 0, "evictions": 0}
+        else:
+            stats = self.cache.stats.as_dict()
+        stats.update(self.batch_stats())
+        return stats
+
+    def batch_stats(self) -> dict:
+        """Histogram and mean of realised :meth:`evaluate_batch` sizes."""
+        calls = sum(self.batch_histogram.values())
+        total = sum(size * count for size, count in self.batch_histogram.items())
+        return {
+            "batch_histogram": {int(size): int(count) for size, count
+                                in sorted(self.batch_histogram.items())},
+            "batched_calls": calls,
+            "mean_realised_batch": (total / calls) if calls else 0.0,
+        }
 
     def reset_counter(self) -> None:
         self.num_calls = 0

@@ -161,7 +161,10 @@ class TestCacheStats:
         verifier = ApproximateVerifier(small_network, spec, use_cache=False)
         verifier.evaluate()
         assert verifier.cache is None
-        assert all(value == 0 for value in verifier.cache_stats().values())
+        stats = verifier.cache_stats()
+        assert stats["batch_histogram"] == {}
+        assert all(value == 0 for key, value in stats.items()
+                   if key != "batch_histogram")
 
     def test_clear_empties_cache(self, small_network):
         spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)

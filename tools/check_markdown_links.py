@@ -1,0 +1,109 @@
+"""Markdown link checker for the repository docs (stdlib only, offline).
+
+Validates every inline link ``[text](target)`` in the given Markdown files
+(directories are scanned recursively for ``*.md``):
+
+* relative file targets must exist on disk, resolved against the linking
+  file's directory;
+* anchor fragments (``#section``, alone or after a ``.md`` target) must
+  match a heading in the target file, using GitHub's slugification rules
+  (lowercase, spaces to hyphens, punctuation stripped);
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped —
+  CI must stay offline-deterministic.
+
+Exit status is non-zero when any link is broken, printing one line per
+problem, so the tool doubles as a CI job and a tier-1 test helper
+(``tests/test_docs_links.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline Markdown links; deliberately simple — no nested parentheses.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (approximation, ASCII-safe)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(targets: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> List[Tuple[Path, str, str]]:
+    """Return ``(file, target, reason)`` for every broken link in ``path``."""
+    problems: List[Tuple[Path, str, str]] = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append((path, target, "file does not exist"))
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                problems.append((path, target, "anchor into a non-Markdown target"))
+            elif github_slug(fragment) not in heading_slugs(resolved):
+                problems.append((path, target, "anchor has no matching heading"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_markdown_links.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    files = markdown_files(argv)
+    missing = [str(path) for path in files if not path.exists()]
+    for path in missing:
+        print(f"MISSING INPUT: {path}")
+    problems = []
+    for path in files:
+        if path.exists():
+            problems.extend(check_file(path))
+    for path, target, reason in problems:
+        print(f"BROKEN LINK: {path}: ({target}) — {reason}")
+    if problems or missing:
+        return 1
+    print(f"ok: {len(files)} file(s), no broken links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
