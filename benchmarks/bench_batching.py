@@ -20,6 +20,19 @@ and reports, per run, the verdict, throughput, and the *realised*
 batch sizes the frontier actually achieves are observable in the JSON
 instead of inferred from the micro-benchmark.
 
+With ``--lp`` the benchmark exercises the batched + cached leaf-LP path:
+
+* a micro-benchmark solves a workload of fully phase-decided leaves
+  (sibling-heavy, as frontier rounds produce them) one-by-one via
+  ``solve_leaf_lp``, batched via ``solve_leaf_lp_batch``, and batched again
+  against a warm ``LpCache`` — asserting identical optima and reporting
+  the cache hit/solve counters;
+* end-to-end ABONN runs at ``frontier_size ∈ {1, 2, 8}`` *share* one
+  ``LpCache`` per problem (sound: the cache key is the canonical split
+  assignment, which identifies a sub-problem for a fixed network/box/spec),
+  so re-visited leaves across the sweep never re-solve — verdicts must not
+  depend on the frontier size or on cache hits.
+
 Results are printed as JSON and written to
 ``benchmarks/output/BENCH_batching.json`` so future runs can track the
 speedup.  Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the
@@ -38,6 +51,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.bounds.cache import LpCache
 from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
 from repro.core.abonn import AbonnVerifier
 from repro.core.config import AbonnConfig
@@ -45,6 +59,7 @@ from repro.nn.zoo import MODEL_FAMILIES
 from repro.specs.robustness import local_robustness_spec
 from repro.utils.timing import Budget
 from repro.verifiers.appver import ApproximateVerifier
+from repro.verifiers.milp import solve_leaf_lp, solve_leaf_lp_batch
 
 OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_batching.json"
 
@@ -152,6 +167,113 @@ def bench_frontier(family_name: str, frontier_sizes, max_nodes: int) -> List[Dic
     return rows
 
 
+def _decided_leaf_workload(network, spec, clusters: int, seed: int):
+    """Fully phase-decided leaves, sibling-heavy as frontier rounds yield them.
+
+    Each cluster fully decides the unstable neurons of one random base
+    assignment and contributes the base leaf plus one sibling (a single
+    flipped phase), so a batch shares most per-layer row blocks.  Returns
+    ``[(splits, report), ...]`` with each report from the leaf's own bound
+    analysis, exactly as the drivers hand them to the LP.
+    """
+    appver = ApproximateVerifier(network, spec, use_cache=False)
+    rng = np.random.default_rng(seed)
+    leaves = []
+    for _ in range(clusters):
+        splits = SplitAssignment.empty()
+        outcome = appver.evaluate(splits)
+        # Decide every unstable neuron (splitting can re-destabilise a
+        # neuron in corner cases, so iterate until the leaf is decided).
+        for _ in range(4):
+            unstable = outcome.report.unstable_neurons(splits)
+            if not unstable:
+                break
+            for layer, unit in unstable:
+                phase = ACTIVE if rng.random() < 0.5 else INACTIVE
+                splits = splits.with_split(ReluSplit(layer, unit, phase))
+            outcome = appver.evaluate(splits)
+        if outcome.report.unstable_neurons(splits):
+            continue  # pragma: no cover - pathological family
+        leaves.append((splits, outcome.report))
+        # The sibling flips the last decided neuron's phase.
+        decided = splits.decided_neurons()
+        flip_layer, flip_unit = decided[-1]
+        sibling = SplitAssignment(
+            {neuron: (-splits.phase_of(*neuron) if neuron == (flip_layer, flip_unit)
+                      else splits.phase_of(*neuron)) for neuron in decided})
+        sibling_outcome = appver.evaluate(sibling)
+        if not sibling_outcome.report.unstable_neurons(sibling):
+            leaves.append((sibling, sibling_outcome.report))
+    return appver.lowered, leaves
+
+
+def bench_lp(family_name: str, clusters: int, frontier_sizes,
+             max_nodes: int) -> Dict:
+    """Micro + end-to-end benchmark of batched, cached leaf-LP resolution."""
+    network, spec, epsilon = _branching_problem(family_name)
+    lowered, leaves = _decided_leaf_workload(network, spec, clusters, seed=17)
+
+    start = time.perf_counter()
+    sequential = [solve_leaf_lp(lowered, spec.input_box, spec.output_spec,
+                                splits, report) for splits, report in leaves]
+    sequential_seconds = time.perf_counter() - start
+
+    cache = LpCache()
+    start = time.perf_counter()
+    batched = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                  leaves, cache=cache)
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                               leaves, cache=cache)
+    warm_seconds = time.perf_counter() - start
+
+    def equal(a, b):
+        if a.feasible != b.feasible:
+            return False
+        if a.feasible and abs(a.value - b.value) > 1e-6:
+            return False
+        return True
+
+    optima_equal = (all(equal(a, b) for a, b in zip(sequential, batched))
+                    and all(a is b for a, b in zip(batched, warm)))
+
+    # End-to-end: one shared cache across the frontier sweep of the same
+    # problem, so leaves re-visited at another K are hits, never re-solves.
+    shared = LpCache()
+    runs = []
+    statuses = set()
+    for frontier_size in frontier_sizes:
+        config = AbonnConfig(frontier_size=frontier_size)
+        result = AbonnVerifier(config, lp_cache=shared).verify(
+            network, spec, Budget(max_nodes=max_nodes))
+        statuses.add(result.status.value)
+        runs.append({
+            "frontier_size": frontier_size,
+            "status": result.status.value,
+            "lp_leaves_resolved": result.extras["lp_leaves_resolved"],
+            "lp_cache": result.extras["lp_cache"],
+        })
+    return {
+        "network": family_name,
+        "epsilon": epsilon,
+        "leaves": len(leaves),
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_batched": (sequential_seconds / batched_seconds
+                            if batched_seconds else 0.0),
+        "speedup_warm": (sequential_seconds / warm_seconds
+                         if warm_seconds else 0.0),
+        "optima_equal": optima_equal,
+        "micro_cache": cache.stats.as_dict(),
+        "verdicts_match": len(statuses) == 1,
+        "shared_cache": shared.stats.as_dict(),
+        "runs": runs,
+    }
+
+
 def _best_time(run, repetitions: int) -> float:
     best = float("inf")
     for _ in range(repetitions):
@@ -211,6 +333,10 @@ def main(argv=None) -> int:
     parser.add_argument("--frontier", action="store_true",
                         help="also run end-to-end ABONN frontier expansion and "
                              "report realised batch-size histograms")
+    parser.add_argument("--lp", action="store_true",
+                        help="also benchmark batched + cached leaf-LP "
+                             "resolution (micro workload and an end-to-end "
+                             "frontier sweep sharing one LpCache)")
     args = parser.parse_args(argv)
     smoke = _smoke_mode(args)
 
@@ -268,6 +394,31 @@ def main(argv=None) -> int:
                     if 8 in runs),
             },
             "rows": frontier_rows,
+        }
+
+    if args.lp:
+        lp_families = SMOKE_FRONTIER_FAMILIES if smoke else FRONTIER_FAMILIES
+        clusters = 3 if smoke else 10
+        lp_frontier_sizes = (1, 2, 8)
+        lp_max_nodes = 96 if smoke else 512
+        lp_rows = [bench_lp(family_name, clusters, lp_frontier_sizes,
+                            lp_max_nodes)
+                   for family_name in lp_families]
+        payload["lp"] = {
+            "max_nodes": lp_max_nodes,
+            "summary": {
+                # Acceptance: re-visited leaves are served from the cache
+                # (hit rate > 0), optima are bit-identical to the
+                # one-at-a-time path, and verdicts are independent of the
+                # frontier size and of cache hits.
+                "min_micro_hit_rate": min(row["micro_cache"]["hit_rate"]
+                                          for row in lp_rows),
+                "optima_equal": all(row["optima_equal"] for row in lp_rows),
+                "verdicts_match": all(row["verdicts_match"] for row in lp_rows),
+                "total_shared_hits": sum(row["shared_cache"]["hits"]
+                                         for row in lp_rows),
+            },
+            "rows": lp_rows,
         }
 
     text = json.dumps(payload, indent=2)

@@ -5,35 +5,48 @@ It explores the sub-problem space breadth-first ("first come, first served",
 created, bounded, and appended to a FIFO queue.  A depth-first variant is
 also provided because it is a useful ablation point.
 
-``frontier_size`` pops up to ``K`` queued sub-problems per round and bounds
-all of their phase-split children through one batched AppVer call (realised
-batch up to ``2K``), preserving the sequential per-child budget semantics;
-``K=1`` (default) is exactly the sequential loop.
+The frontier loop itself runs on the shared
+:class:`~repro.engine.driver.FrontierDriver`: this module contributes a thin
+queue work source that pops up to ``frontier_size`` sub-problems per round
+(FIFO or LIFO) and pushes starved sub-problems back so budget exhaustion
+surfaces as TIMEOUT — never as a spurious VERIFIED from an emptied queue.
+``frontier_size=1`` (the default) reproduces the sequential loop's
+verdicts, counterexamples and charges (one deferred-leaf-LP caveat in the
+terminal round when a leaf LP falsifies — see the engine's docstring).
 
 Completeness: when a sub-problem has no unstable neuron left but its bound
 is still negative (an artefact of the linear relaxation not feeding the
 split constraints back into the input region), the sub-problem is resolved
 exactly with the leaf LP of :mod:`repro.verifiers.milp` — the same role the
-paper's GUROBI back-end plays.
+paper's GUROBI back-end plays.  All decided leaves of one round are solved
+through one batched, cached :func:`~repro.verifiers.milp.solve_leaf_lp_batch`
+call.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, List, Optional
 
 import numpy as np
 
 from repro.bab.domain import BaBNode, BaBStatistics
 from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
 from repro.bounds.alpha_crown import AlphaCrownConfig
+from repro.bounds.cache import LpCache
 from repro.bounds.splits import ReluSplit, SplitAssignment
+from repro.engine.driver import DriverVerdict, FrontierDriver, LinearWorkSource
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
 from repro.utils.validation import require
-from repro.verifiers.appver import ApproximateVerifier, affordable_phases
-from repro.verifiers.milp import solve_leaf_lp
+from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.milp import (
+    LEAF_FALSIFIED,
+    LEAF_VERIFIED,
+    classify_leaf_optimum,
+    solve_leaf_lp_batch,
+)
 from repro.verifiers.result import (
     VerificationResult,
     VerificationStatus,
@@ -42,15 +55,129 @@ from repro.verifiers.result import (
 )
 
 
+class QueueFrontierSource(LinearWorkSource):
+    """A FIFO/LIFO queue of BaB sub-problems as a work source.
+
+    Pops record expansion statistics; budget starvation pushes the popped
+    node back to the *front* of its exploration order (undoing the pop's
+    statistics) so the unresolved sub-problem keeps the queue alive — the
+    TIMEOUT-not-VERIFIED invariants live in
+    :class:`~repro.engine.driver.LinearWorkSource`.
+    """
+
+    def __init__(self, root: BaBNode, exploration: str,
+                 appver: ApproximateVerifier, heuristic: BranchingHeuristic,
+                 spec: Specification, statistics: BaBStatistics, budget: Budget,
+                 lp_cache: LpCache, lp_leaf_refinement: bool,
+                 root_bound: float) -> None:
+        super().__init__(root_bound)
+        self.queue: Deque[BaBNode] = deque([root])
+        self.exploration = exploration
+        self.appver = appver
+        self.heuristic = heuristic
+        self.spec = spec
+        self.statistics = statistics
+        self.budget = budget
+        self.lp_cache = lp_cache
+        self.lp_leaf_refinement = lp_leaf_refinement
+
+    # -- gathering -------------------------------------------------------------
+    def has_work(self) -> bool:
+        """Whether any unresolved sub-problem is still queued."""
+        return bool(self.queue)
+
+    def _pop(self) -> BaBNode:
+        """Pop in exploration order, recording expansion statistics."""
+        node = self.queue.popleft() if self.exploration == "bfs" else self.queue.pop()
+        self.statistics.nodes_expanded += 1
+        self.statistics.record_depth(node.depth)
+        return node
+
+    def _reinsert(self, node: BaBNode) -> None:
+        """Undo a pop: restore the statistics and the exploration order."""
+        self.statistics.nodes_expanded -= 1
+        self.statistics.nodes_split -= 1
+        if self.exploration == "bfs":
+            self.queue.appendleft(node)
+        else:
+            self.queue.append(node)
+
+    def select_neuron(self, node: BaBNode):
+        """Pick the node's branching neuron and record split statistics."""
+        context = BranchingContext(network=self.appver.lowered,
+                                   spec=self.spec.output_spec,
+                                   report=node.outcome.report, splits=node.splits,
+                                   evaluate_split=self._probe)
+        neuron = self.heuristic.select(context)
+        if neuron is not None:
+            node.branch_neuron = neuron
+            self.statistics.nodes_split += 1
+        return neuron
+
+    def child_splits(self, node: BaBNode, neuron, phases) -> List[SplitAssignment]:
+        """The children's split assignments for the chosen neuron."""
+        return [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
+                for phase in phases]
+
+    # -- batched exact leaf resolution -----------------------------------------
+    def resolve_leaves(self, nodes: List[BaBNode]) -> Optional[DriverVerdict]:
+        """Resolve decided leaves with one batched, cached leaf-LP call."""
+        if not self.lp_leaf_refinement:
+            self.has_unknown_leaf = True
+            return None
+        optima = solve_leaf_lp_batch(
+            self.appver.lowered, self.spec.input_box, self.spec.output_spec,
+            [(node.splits, node.outcome.report) for node in nodes],
+            cache=self.lp_cache)
+        for optimum in optima:
+            self.statistics.leaves_lp_resolved += 1
+            verdict, counterexample = classify_leaf_optimum(optimum, self.spec,
+                                                            self.appver.network)
+            if verdict == LEAF_VERIFIED:
+                self.statistics.nodes_verified += 1
+            elif verdict == LEAF_FALSIFIED:
+                return DriverVerdict(VerificationStatus.FALSIFIED,
+                                     counterexample=counterexample)
+            else:
+                self.has_unknown_leaf = True
+        return None
+
+    # -- attachment ------------------------------------------------------------
+    def attach(self, node: BaBNode, phase: int, splits: SplitAssignment,
+               outcome: AppVerOutcome) -> Optional[DriverVerdict]:
+        """Attach one bounded child; queue it unless settled by its bound."""
+        child = BaBNode(splits, depth=node.depth + 1, outcome=outcome, parent=node)
+        node.children.append(child)
+        if outcome.falsified:
+            return DriverVerdict(VerificationStatus.FALSIFIED,
+                                 counterexample=outcome.candidate,
+                                 bound=outcome.p_hat)
+        if outcome.verified or outcome.report.infeasible:
+            self.statistics.nodes_verified += 1
+            return None
+        self.queue.append(child)
+        return None
+
+    # -- helpers ---------------------------------------------------------------
+    def _probe(self, splits: SplitAssignment) -> float:
+        self.budget.charge_node()
+        return self.appver.evaluate(splits).p_hat
+
+
 class BaBBaselineVerifier(Verifier):
-    """Breadth-first (or depth-first) branch-and-bound verification."""
+    """Breadth-first (or depth-first) branch-and-bound verification.
+
+    ``lp_cache`` optionally shares a leaf-LP cache across runs on the same
+    verification problem (see :class:`~repro.bounds.cache.LpCache`).
+    """
 
     name = "BaB-baseline"
 
     def __init__(self, heuristic: str = "deepsplit", bound_method: str = "deeppoly",
                  exploration: str = "bfs", lp_leaf_refinement: bool = True,
                  alpha_config: Optional[AlphaCrownConfig] = None,
-                 frontier_size: int = 1) -> None:
+                 frontier_size: int = 1,
+                 lp_cache: Optional[LpCache] = None) -> None:
         require(exploration in ("bfs", "dfs"),
                 f"exploration must be 'bfs' or 'dfs', got {exploration!r}")
         require(frontier_size >= 1, "frontier_size must be positive")
@@ -60,6 +187,7 @@ class BaBBaselineVerifier(Verifier):
         self.lp_leaf_refinement = lp_leaf_refinement
         self.alpha_config = alpha_config
         self.frontier_size = frontier_size
+        self.lp_cache = lp_cache
         if exploration == "dfs":
             self.name = "BaB-dfs"
 
@@ -68,154 +196,46 @@ class BaBBaselineVerifier(Verifier):
 
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
+        """Run breadth/depth-first BaB on the shared frontier engine."""
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, self.bound_method,
                                      alpha_config=self.alpha_config)
         heuristic = self._make_heuristic()
         statistics = BaBStatistics()
+        lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
 
         root_outcome = appver.evaluate()
         budget.charge_node()
         if root_outcome.verified or root_outcome.report.infeasible:
-            return self._finish(VerificationStatus.VERIFIED, budget, appver, statistics,
-                                bound=root_outcome.p_hat)
+            return self._finish(VerificationStatus.VERIFIED, budget, appver,
+                                statistics, lp_cache, bound=root_outcome.p_hat)
         if root_outcome.falsified:
-            return self._finish(VerificationStatus.FALSIFIED, budget, appver, statistics,
+            return self._finish(VerificationStatus.FALSIFIED, budget, appver,
+                                statistics, lp_cache,
                                 counterexample=root_outcome.candidate,
                                 bound=root_outcome.p_hat)
 
         root = BaBNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
-        queue: Deque[BaBNode] = deque([root])
-        has_unknown_leaf = False
-
-        while queue:
-            if budget.exhausted():
-                return self._finish(VerificationStatus.TIMEOUT, budget, appver, statistics,
-                                    bound=root_outcome.p_hat)
-            # Gather up to ``frontier_size`` queued nodes to expand together;
-            # fully phase-decided leaves are resolved exactly as they pop.
-            batch = []  # (node, phases, child splits)
-            planned = 0
-            truncated = False
-            while queue and len(batch) < self.frontier_size and not truncated:
-                if budget.exhausted():
-                    if batch:
-                        break  # charge the gathered batch; TIMEOUT surfaces next round
-                    return self._finish(VerificationStatus.TIMEOUT, budget, appver,
-                                        statistics, bound=root_outcome.p_hat)
-                node = queue.popleft() if self.exploration == "bfs" else queue.pop()
-                statistics.nodes_expanded += 1
-                statistics.record_depth(node.depth)
-
-                context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
-                                           report=node.outcome.report, splits=node.splits,
-                                           evaluate_split=self._make_probe(appver, budget))
-                neuron = heuristic.select(context)
-                if neuron is None:
-                    budget.charge_node()  # the leaf LP costs about one bound computation
-                    resolved, counterexample = self._resolve_leaf(appver, spec, node,
-                                                                  statistics)
-                    if counterexample is not None:
-                        return self._finish(VerificationStatus.FALSIFIED, budget, appver,
-                                            statistics, counterexample=counterexample)
-                    if not resolved:
-                        has_unknown_leaf = True
-                    continue
-
-                node.branch_neuron = neuron
-                statistics.nodes_split += 1
-                phases = affordable_phases(budget, planned)
-                if not phases:
-                    if not batch:
-                        return self._finish(VerificationStatus.TIMEOUT, budget, appver,
-                                            statistics, bound=root_outcome.p_hat)
-                    # No budget left for this node's children: undo the pop.
-                    # The node stays queued so the unresolved sub-problem
-                    # keeps the loop alive and exhaustion surfaces as TIMEOUT
-                    # — never as a spurious VERIFIED from an emptied queue.
-                    statistics.nodes_expanded -= 1
-                    statistics.nodes_split -= 1
-                    if self.exploration == "bfs":
-                        queue.appendleft(node)
-                    else:
-                        queue.append(node)
-                    break
-                truncated = len(phases) < 2
-                batch.append((node, phases,
-                              [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
-                               for phase in phases]))
-                planned += len(phases)
-            if not batch:
-                continue  # this round only resolved leaves
-
-            # One batched AppVer call bounds the children of the whole frontier.
-            flat_splits = [splits for _, _, child_splits in batch
-                           for splits in child_splits]
-            outcomes = appver.evaluate_batch(flat_splits)
-            position = 0
-            first_child = True
-            for node, phases, child_splits in batch:
-                for offset, splits in enumerate(child_splits):
-                    if not first_child and budget.exhausted():
-                        return self._finish(VerificationStatus.TIMEOUT, budget, appver,
-                                            statistics, bound=root_outcome.p_hat)
-                    outcome = outcomes[position + offset]
-                    budget.charge_node()
-                    first_child = False
-                    child = BaBNode(splits, depth=node.depth + 1, outcome=outcome,
-                                    parent=node)
-                    node.children.append(child)
-                    if outcome.falsified:
-                        return self._finish(VerificationStatus.FALSIFIED, budget, appver,
-                                            statistics, counterexample=outcome.candidate,
-                                            bound=outcome.p_hat)
-                    if outcome.verified or outcome.report.infeasible:
-                        statistics.nodes_verified += 1
-                        continue
-                    queue.append(child)
-                position += len(child_splits)
-            if truncated:
-                return self._finish(VerificationStatus.TIMEOUT, budget, appver,
-                                    statistics, bound=root_outcome.p_hat)
-
-        status = (VerificationStatus.UNKNOWN if has_unknown_leaf
-                  else VerificationStatus.VERIFIED)
-        return self._finish(status, budget, appver, statistics)
+        source = QueueFrontierSource(root, self.exploration, appver, heuristic,
+                                     spec, statistics, budget, lp_cache,
+                                     self.lp_leaf_refinement, root_outcome.p_hat)
+        driver = FrontierDriver(appver, self.frontier_size)
+        verdict = driver.run(source, budget)
+        return self._finish(verdict.status, budget, appver, statistics, lp_cache,
+                            counterexample=verdict.counterexample,
+                            bound=verdict.bound)
 
     # -- helpers --------------------------------------------------------------
-    @staticmethod
-    def _make_probe(appver: ApproximateVerifier, budget: Budget):
-        def probe(splits: SplitAssignment) -> float:
-            budget.charge_node()
-            return appver.evaluate(splits).p_hat
-        return probe
-
-    def _resolve_leaf(self, appver: ApproximateVerifier, spec: Specification,
-                      node: BaBNode, statistics: BaBStatistics):
-        """Resolve a fully phase-decided leaf; returns (resolved, counterexample)."""
-        if not self.lp_leaf_refinement:
-            return False, None
-        optimum = solve_leaf_lp(appver.lowered, spec.input_box, spec.output_spec,
-                                node.splits, node.outcome.report)
-        statistics.leaves_lp_resolved += 1
-        if not optimum.feasible or optimum.value >= 0.0:
-            statistics.nodes_verified += 1
-            return True, None
-        if optimum.minimizer is None:  # pragma: no cover - solver failure
-            return False, None
-        point = spec.input_box.clip(optimum.minimizer)
-        if spec.is_counterexample(appver.network, point):
-            return True, point
-        return False, None
-
     def _finish(self, status: VerificationStatus, budget: Budget,
                 appver: ApproximateVerifier, statistics: BaBStatistics,
+                lp_cache: LpCache,
                 counterexample: Optional[np.ndarray] = None,
                 bound: Optional[float] = None) -> VerificationResult:
         statistics.tree_size = appver.num_calls
         extras = statistics.as_dict()
         extras["frontier_size"] = self.frontier_size
         extras["bound_cache"] = appver.cache_stats()
+        extras["lp_cache"] = lp_cache.stats.as_dict()
         return VerificationResult(
             status=status,
             verifier=self.name,

@@ -14,11 +14,15 @@ the behaviours that matter for that comparison:
 * **bound-ordered best-first BaB** — remaining sub-problems are explored
   best-first by their bound (most-violated first), with per-neuron split
   constraints tightening the child bounds (the role β plays in the original
-  tool) and LP resolution of fully-decided leaves.  ``frontier_size`` pops
-  the top-``K`` most-violated sub-problems per round and bounds all of
-  their children through one batched AppVer call (the original tool batches
-  hundreds of domains per GPU pass the same way); ``K=1`` is exactly the
-  sequential loop.
+  tool) and batched, cached LP resolution of fully-decided leaves.  The
+  frontier loop runs on the shared
+  :class:`~repro.engine.driver.FrontierDriver` over a thin heap work
+  source: each round pops the top-``frontier_size`` most-violated
+  sub-problems and bounds all of their children in one batched call (the
+  original tool batches hundreds of domains per GPU pass the same way);
+  ``frontier_size=1`` reproduces the sequential loop's verdicts and
+  charges (one deferred-leaf-LP caveat in the terminal round when a leaf
+  LP falsifies — see the engine's docstring).
 
 Node-budget accounting: one α-CROWN evaluation internally performs several
 bound computations (the SPSA iterations), so it is charged accordingly —
@@ -33,20 +37,23 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.bab.heuristics import BranchingContext, make_heuristic
+from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
 from repro.bounds.alpha_crown import AlphaCrownConfig
+from repro.bounds.cache import LpCache
 from repro.bounds.splits import ReluSplit, SplitAssignment
+from repro.engine.driver import DriverVerdict, FrontierDriver, LinearWorkSource
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
-from repro.verifiers.appver import (
-    ApproximateVerifier,
-    AppVerOutcome,
-    affordable_phases,
-)
-from repro.verifiers.attack import AttackConfig, pgd_attack
 from repro.utils.validation import require
-from repro.verifiers.milp import solve_leaf_lp
+from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.attack import AttackConfig, pgd_attack
+from repro.verifiers.milp import (
+    LEAF_FALSIFIED,
+    LEAF_VERIFIED,
+    classify_leaf_optimum,
+    solve_leaf_lp_batch,
+)
 from repro.verifiers.result import (
     VerificationResult,
     VerificationStatus,
@@ -54,9 +61,103 @@ from repro.verifiers.result import (
     make_budget,
 )
 
+#: A heap entry: (bound, tie-break counter, splits, outcome).
+HeapEntry = Tuple[float, int, SplitAssignment, AppVerOutcome]
+
+
+class HeapFrontierSource(LinearWorkSource):
+    """A best-first (most-violated-bound) heap as a work source.
+
+    Budget starvation pushes the popped entry straight back onto the heap
+    (its bound key is unchanged), keeping the unresolved sub-problem alive;
+    the TIMEOUT-not-VERIFIED invariants live in
+    :class:`~repro.engine.driver.LinearWorkSource`.
+    """
+
+    def __init__(self, root_entry: HeapEntry, appver: ApproximateVerifier,
+                 heuristic: BranchingHeuristic, spec: Specification,
+                 budget: Budget, lp_cache: LpCache, lp_leaf_refinement: bool,
+                 root_bound: float) -> None:
+        super().__init__(root_bound)
+        self.heap: List[HeapEntry] = [root_entry]
+        self.appver = appver
+        self.heuristic = heuristic
+        self.spec = spec
+        self.budget = budget
+        self.lp_cache = lp_cache
+        self.lp_leaf_refinement = lp_leaf_refinement
+        self.counter = itertools.count(1)
+        self.lp_leaves = 0
+
+    # -- gathering -------------------------------------------------------------
+    def has_work(self) -> bool:
+        """Whether any unresolved sub-problem is still on the heap."""
+        return bool(self.heap)
+
+    def _pop(self) -> HeapEntry:
+        """Pop the most-violated sub-problem."""
+        return heapq.heappop(self.heap)
+
+    def _reinsert(self, entry: HeapEntry) -> None:
+        """Undo a pop: the entry's bound key makes it the next pop again."""
+        heapq.heappush(self.heap, entry)
+
+    def select_neuron(self, entry: HeapEntry):
+        """Pick the entry's branching neuron (no look-ahead probing)."""
+        _, _, splits, outcome = entry
+        context = BranchingContext(network=self.appver.lowered,
+                                   spec=self.spec.output_spec,
+                                   report=outcome.report, splits=splits)
+        return self.heuristic.select(context)
+
+    def child_splits(self, entry: HeapEntry, neuron, phases) -> List[SplitAssignment]:
+        """The children's split assignments for the chosen neuron."""
+        splits = entry[2]
+        return [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
+                for phase in phases]
+
+    # -- batched exact leaf resolution -----------------------------------------
+    def resolve_leaves(self, entries: List[HeapEntry]) -> Optional[DriverVerdict]:
+        """Resolve decided leaves with one batched, cached leaf-LP call."""
+        if not self.lp_leaf_refinement:
+            self.has_unknown_leaf = True
+            return None
+        optima = solve_leaf_lp_batch(
+            self.appver.lowered, self.spec.input_box, self.spec.output_spec,
+            [(entry[2], entry[3].report) for entry in entries],
+            cache=self.lp_cache)
+        for optimum in optima:
+            self.lp_leaves += 1
+            verdict, counterexample = classify_leaf_optimum(optimum, self.spec,
+                                                            self.appver.network)
+            if verdict == LEAF_FALSIFIED:
+                return DriverVerdict(VerificationStatus.FALSIFIED,
+                                     counterexample=counterexample)
+            if verdict != LEAF_VERIFIED:
+                self.has_unknown_leaf = True
+        return None
+
+    # -- attachment ------------------------------------------------------------
+    def attach(self, entry: HeapEntry, phase: int, splits: SplitAssignment,
+               outcome: AppVerOutcome) -> Optional[DriverVerdict]:
+        """Heap-push one bounded child unless its bound settles it."""
+        if outcome.falsified:
+            return DriverVerdict(VerificationStatus.FALSIFIED,
+                                 counterexample=outcome.candidate,
+                                 bound=outcome.p_hat)
+        if outcome.verified or outcome.report.infeasible:
+            return None
+        heapq.heappush(self.heap, (outcome.p_hat, next(self.counter),
+                                   splits, outcome))
+        return None
+
 
 class AlphaBetaCrownVerifier(Verifier):
-    """Attack + α-CROWN root + bound-ordered best-first BaB."""
+    """Attack + α-CROWN root + bound-ordered best-first BaB.
+
+    ``lp_cache`` optionally shares a leaf-LP cache across runs on the same
+    verification problem (see :class:`~repro.bounds.cache.LpCache`).
+    """
 
     name = "alpha-beta-CROWN"
 
@@ -64,24 +165,28 @@ class AlphaBetaCrownVerifier(Verifier):
                  attack_config: Optional[AttackConfig] = None,
                  alpha_config: Optional[AlphaCrownConfig] = None,
                  lp_leaf_refinement: bool = True,
-                 frontier_size: int = 1) -> None:
+                 frontier_size: int = 1,
+                 lp_cache: Optional[LpCache] = None) -> None:
         require(frontier_size >= 1, "frontier_size must be positive")
         self.heuristic_name = heuristic
         self.attack_config = attack_config or AttackConfig(steps=25, restarts=3)
         self.alpha_config = alpha_config or AlphaCrownConfig(iterations=6)
         self.lp_leaf_refinement = lp_leaf_refinement
         self.frontier_size = frontier_size
+        self.lp_cache = lp_cache
 
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
+        """Attack, then α-CROWN root bound, then best-first engine BaB."""
         budget = make_budget(budget)
         heuristic = make_heuristic(self.heuristic_name)
+        lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
 
         # Stage 1: adversarial attack (cheap falsification).
         attack = pgd_attack(network, spec, self.attack_config)
         budget.charge_node()  # the attack costs roughly one bound computation
         if attack.is_counterexample:
-            return self._finish(VerificationStatus.FALSIFIED, budget, 1,
+            return self._finish(VerificationStatus.FALSIFIED, budget, 1, lp_cache,
                                 counterexample=attack.best_input,
                                 bound=attack.best_margin)
 
@@ -93,122 +198,33 @@ class AlphaBetaCrownVerifier(Verifier):
         budget.charge_node(root_cost)
         if root_outcome.verified or root_outcome.report.infeasible:
             return self._finish(VerificationStatus.VERIFIED, budget, budget.nodes,
-                                bound=root_outcome.p_hat)
+                                lp_cache, bound=root_outcome.p_hat)
         if root_outcome.falsified:
             return self._finish(VerificationStatus.FALSIFIED, budget, budget.nodes,
-                                counterexample=root_outcome.candidate,
+                                lp_cache, counterexample=root_outcome.candidate,
                                 bound=root_outcome.p_hat)
 
-        # Stage 3: best-first BaB ordered by the bound (most violated first),
-        # using the cheaper DeepPoly back-end for sub-problems.
+        # Stage 3: best-first BaB ordered by the bound (most violated first)
+        # on the shared frontier engine, using the cheaper DeepPoly back-end
+        # for sub-problems.
         sub_appver = ApproximateVerifier(network, spec, "deeppoly")
-        counter = itertools.count()
-        heap: List[Tuple[float, int, SplitAssignment, AppVerOutcome]] = []
-        heapq.heappush(heap, (root_outcome.p_hat, next(counter),
-                              SplitAssignment.empty(), root_outcome))
-        has_unknown_leaf = False
-
-        while heap:
-            if budget.exhausted():
-                return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
-                                    bound=root_outcome.p_hat)
-            # Gather the top-``frontier_size`` most-violated sub-problems;
-            # fully-decided leaves are resolved exactly as they pop.
-            batch = []  # (splits, phases, child splits)
-            planned = 0
-            truncated = False
-            while heap and len(batch) < self.frontier_size and not truncated:
-                if budget.exhausted():
-                    if batch:
-                        break  # charge the gathered batch; TIMEOUT surfaces next round
-                    return self._finish(VerificationStatus.TIMEOUT, budget,
-                                        budget.nodes, bound=root_outcome.p_hat)
-                entry = heapq.heappop(heap)
-                _, _, splits, outcome = entry
-                context = BranchingContext(network=sub_appver.lowered,
-                                           spec=spec.output_spec,
-                                           report=outcome.report, splits=splits)
-                neuron = heuristic.select(context)
-                if neuron is None:
-                    budget.charge_node()  # the leaf LP costs about one bound computation
-                    verdict, counterexample = self._resolve_leaf(sub_appver, spec,
-                                                                 splits, outcome)
-                    if counterexample is not None:
-                        return self._finish(VerificationStatus.FALSIFIED, budget,
-                                            budget.nodes, counterexample=counterexample)
-                    if verdict is None:
-                        has_unknown_leaf = True
-                    continue
-                phases = affordable_phases(budget, planned)
-                if not phases:
-                    if not batch:
-                        return self._finish(VerificationStatus.TIMEOUT, budget,
-                                            budget.nodes, bound=root_outcome.p_hat)
-                    # No budget left for this sub-problem's children: push it
-                    # back.  The unresolved sub-problem keeps the heap
-                    # non-empty so exhaustion surfaces as TIMEOUT — never as
-                    # a spurious VERIFIED from an emptied heap.
-                    heapq.heappush(heap, entry)
-                    break
-                truncated = len(phases) < 2
-                batch.append((splits, phases,
-                              [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
-                               for phase in phases]))
-                planned += len(phases)
-            if not batch:
-                continue  # this round only resolved leaves
-
-            # One batched AppVer call bounds the children of the whole frontier.
-            flat_splits = [child for _, _, children in batch for child in children]
-            child_outcomes = sub_appver.evaluate_batch(flat_splits)
-            position = 0
-            first_child = True
-            for _, phases, children in batch:
-                for offset, child_splits in enumerate(children):
-                    if not first_child and budget.exhausted():
-                        return self._finish(VerificationStatus.TIMEOUT, budget,
-                                            budget.nodes, bound=root_outcome.p_hat)
-                    child_outcome = child_outcomes[position + offset]
-                    budget.charge_node()
-                    first_child = False
-                    if child_outcome.falsified:
-                        return self._finish(VerificationStatus.FALSIFIED, budget,
-                                            budget.nodes,
-                                            counterexample=child_outcome.candidate,
-                                            bound=child_outcome.p_hat)
-                    if child_outcome.verified or child_outcome.report.infeasible:
-                        continue
-                    heapq.heappush(heap, (child_outcome.p_hat, next(counter),
-                                          child_splits, child_outcome))
-                position += len(children)
-            if truncated:
-                return self._finish(VerificationStatus.TIMEOUT, budget, budget.nodes,
-                                    bound=root_outcome.p_hat)
-
-        status = (VerificationStatus.UNKNOWN if has_unknown_leaf
-                  else VerificationStatus.VERIFIED)
-        return self._finish(status, budget, budget.nodes)
+        root_entry: HeapEntry = (root_outcome.p_hat, 0,
+                                 SplitAssignment.empty(), root_outcome)
+        source = HeapFrontierSource(root_entry, sub_appver, heuristic, spec,
+                                    budget, lp_cache, self.lp_leaf_refinement,
+                                    root_outcome.p_hat)
+        driver = FrontierDriver(sub_appver, self.frontier_size)
+        verdict = driver.run(source, budget)
+        return self._finish(verdict.status, budget, budget.nodes, lp_cache,
+                            counterexample=verdict.counterexample,
+                            bound=verdict.bound, lp_leaves=source.lp_leaves)
 
     # -- helpers ---------------------------------------------------------------
-    def _resolve_leaf(self, appver: ApproximateVerifier, spec: Specification,
-                      splits: SplitAssignment, outcome: AppVerOutcome):
-        """Resolve a fully-decided leaf; returns (verdict, counterexample)."""
-        if not self.lp_leaf_refinement:
-            return None, None
-        optimum = solve_leaf_lp(appver.lowered, spec.input_box, spec.output_spec,
-                                splits, outcome.report)
-        if not optimum.feasible or optimum.value >= 0.0:
-            return True, None
-        if optimum.minimizer is None:  # pragma: no cover - solver failure
-            return None, None
-        point = spec.input_box.clip(optimum.minimizer)
-        if spec.is_counterexample(appver.network, point):
-            return False, point
-        return None, None
-
     def _finish(self, status: VerificationStatus, budget: Budget, nodes: int,
+                lp_cache: LpCache,
                 counterexample: Optional[np.ndarray] = None,
-                bound: Optional[float] = None) -> VerificationResult:
+                bound: Optional[float] = None,
+                lp_leaves: int = 0) -> VerificationResult:
         return VerificationResult(
             status=status,
             verifier=self.name,
@@ -219,5 +235,7 @@ class AlphaBetaCrownVerifier(Verifier):
             bound=bound,
             extras={"heuristic": self.heuristic_name,
                     "alpha_iterations": self.alpha_config.iterations,
-                    "frontier_size": self.frontier_size},
+                    "frontier_size": self.frontier_size,
+                    "lp_leaves_resolved": lp_leaves,
+                    "lp_cache": lp_cache.stats.as_dict()},
         )

@@ -1,7 +1,15 @@
 """Approximated-verifier substrate: IBP, DeepPoly/CROWN and α-CROWN bounds."""
 
 from repro.bounds.alpha_crown import AlphaCrownAnalyzer, AlphaCrownConfig, alpha_crown_bounds
-from repro.bounds.cache import DEFAULT_CACHE_SIZE, BoundCache, CacheStats, LayerEntry
+from repro.bounds.cache import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_LP_CACHE_SIZE,
+    BoundCache,
+    CacheStats,
+    LayerEntry,
+    LpCache,
+    LpCacheStats,
+)
 from repro.bounds.deeppoly import (
     DeepPolyAnalyzer,
     deeppoly_bounds,
@@ -32,6 +40,9 @@ from repro.bounds.splits import (
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_LP_CACHE_SIZE",
+    "LpCache",
+    "LpCacheStats",
     "clip_bounds_with_phases",
     "stacked_phase_array",
     "AlphaCrownAnalyzer",

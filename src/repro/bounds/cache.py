@@ -25,6 +25,16 @@ spec)`` triple and for the default (heuristic) relaxation slopes; analyses
 with externally supplied ``lower_slopes`` (the α-CROWN optimiser) must
 bypass it.  The owning :class:`~repro.verifiers.appver.ApproximateVerifier`
 guarantees both.
+
+:class:`LpCache` applies the same idea to the *exact* leaf resolutions of
+:func:`~repro.verifiers.milp.solve_leaf_lp_batch`: a bounded LRU store of
+``RowOptimum`` results keyed by ``SplitAssignment.canonical_key()``, so a
+fully phase-decided leaf that is reached again (within a run, or across
+runs on the *same* verification problem when the cache is shared
+explicitly) never re-solves its LP.  The same soundness invariant applies —
+one cache per ``(network, input box, output spec)`` triple; the bound
+analysis is deterministic, so a canonical split assignment always induces
+the same LP and a hit returns the identical optimum.
 """
 
 from __future__ import annotations
@@ -39,6 +49,11 @@ from repro.utils.validation import require
 
 #: Default capacity shared by every cache owner (AppVer, AbonnConfig).
 DEFAULT_CACHE_SIZE = 4096
+
+#: Default capacity of the leaf-LP result cache.  Leaf LPs are far more
+#: expensive to recompute than bound passes, and their memoised payload (one
+#: ``RowOptimum``) is tiny, so a run rarely needs eviction at all.
+DEFAULT_LP_CACHE_SIZE = 2048
 
 
 @dataclass(frozen=True)
@@ -130,6 +145,85 @@ class BoundCache:
         self._put(("report", canonical_key, with_spec), report)
 
     # -- management -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+@dataclass
+class LpCacheStats:
+    """Counters of the leaf-LP cache: reuse (hits) versus actual solves.
+
+    ``solves`` counts *leaf resolutions* dispatched to the solver — the unit
+    hits and misses are measured in (each resolution internally costs one LP
+    per specification row).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    solves: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return (self.hits / total) if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "solves": self.solves,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LpCache:
+    """A bounded LRU cache of exact leaf-LP optima.
+
+    Keys are ``SplitAssignment.canonical_key()`` tuples; values are the
+    :class:`~repro.verifiers.milp.RowOptimum` computed for that leaf (stored
+    as an opaque object so this module stays free of verifier imports).  A
+    hit returns the *identical* object the solver produced — callers treat
+    optima as immutable.  ``solves`` counts leaf resolutions that actually
+    reached the solver through this cache (one per miss; each costs one LP
+    per spec row internally), so ``hits / (hits + misses)`` and ``solves``
+    make the cost of leaf resolution observable end to end.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_LP_CACHE_SIZE) -> None:
+        require(max_entries >= 1, "max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.stats = LpCacheStats()
+
+    def get(self, canonical_key: Hashable) -> Optional[object]:
+        """Look up a leaf's optimum; counts a hit or a miss."""
+        value = self._store.get(canonical_key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+            self._store.move_to_end(canonical_key)
+        return value
+
+    def put(self, canonical_key: Hashable, optimum: object) -> None:
+        """Store a freshly solved optimum (LRU eviction beyond capacity)."""
+        if canonical_key in self._store:
+            self._store.move_to_end(canonical_key)
+        self._store[canonical_key] = optimum
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def record_solve(self, count: int = 1) -> None:
+        """Count ``count`` leaf resolutions dispatched to the solver."""
+        self.stats.solves += count
+
     def __len__(self) -> int:
         return len(self._store)
 

@@ -3,15 +3,23 @@
 ABONN explores the BaB sub-problem space in an MCTS style.  Every iteration
 selects up to ``frontier_size`` distinct unexpanded nodes by repeated UCB1
 descent from the root (with virtual-loss exclusion so the selections spread
-over the tree), expands all of their phase-split children through **one**
-batched AppVer call, scores the children with the counterexample
-potentiality (Def. 1), and back-propagates rewards (max over children) and
-subtree sizes towards the root.  With ``frontier_size=1`` (the default)
-this is exactly the sequential Alg. 1 loop; larger frontiers feed the
-batched bound back-ends realised batch sizes of up to ``2 * frontier_size``
-while preserving the sequential per-child budget semantics at node and
-wall-clock boundaries (see ``docs/BATCHING.md``).  The run terminates as
-soon as
+over the tree, and deeper re-descent so dead-ended descents refill the
+frontier in sparser trees), expands all of their phase-split children
+through **one** batched AppVer call, scores the children with the
+counterexample potentiality (Def. 1), and back-propagates rewards (max over
+children) and subtree sizes towards the root.  Fully phase-decided leaves
+are resolved exactly, one batched (and cached) leaf-LP pass per iteration.
+
+The iteration itself — gathering, budget accounting, batched expansion,
+attachment order — is executed by the shared
+:class:`~repro.engine.driver.FrontierDriver`; this module contributes the
+MCTS work source (selection, potentiality scoring, reward propagation).
+With ``frontier_size=1`` (the default) this is exactly the sequential
+Alg. 1 loop; larger frontiers feed the batched bound back-ends realised
+batch sizes of up to ``2 * frontier_size`` while preserving the sequential
+per-child budget semantics at node and wall-clock boundaries (see
+``docs/ENGINE.md`` and ``docs/BATCHING.md``).  The run terminates as soon
+as
 
 * ``R(ε) = +inf`` — a real counterexample was found (verdict ``false``),
 * ``R(ε) = -inf`` — every sub-problem is verified (verdict ``true``), or
@@ -20,11 +28,12 @@ soon as
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heuristic
+from repro.bounds.cache import LpCache
 from repro.bounds.splits import ReluSplit, SplitAssignment
 from repro.core.config import AbonnConfig
 from repro.core.mcts import (
@@ -35,15 +44,17 @@ from repro.core.mcts import (
     select_frontier,
 )
 from repro.core.potentiality import PotentialityScorer
+from repro.engine.driver import DriverVerdict, WorkSource, FrontierDriver
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
-from repro.verifiers.appver import (
-    ApproximateVerifier,
-    AppVerOutcome,
-    affordable_phases,
+from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.milp import (
+    LEAF_FALSIFIED,
+    LEAF_VERIFIED,
+    classify_leaf_optimum,
+    solve_leaf_lp_batch,
 )
-from repro.verifiers.milp import solve_leaf_lp
 from repro.verifiers.result import (
     VerificationResult,
     VerificationStatus,
@@ -52,17 +63,210 @@ from repro.verifiers.result import (
 )
 
 
+def _score_child(parent: MctsNode, splits: SplitAssignment,
+                 outcome: AppVerOutcome, scorer: PotentialityScorer) -> MctsNode:
+    """Create and potentiality-score one freshly bounded child node."""
+    child = MctsNode(splits, depth=parent.depth + 1, outcome=outcome, parent=parent)
+    child.reward = scorer.score(outcome.p_hat, outcome.falsified, child.depth)
+    if outcome.report.infeasible:
+        child.reward = float("-inf")
+    if outcome.falsified:
+        child.counterexample = outcome.candidate
+    return child
+
+
+class MctsFrontierSource(WorkSource):
+    """ABONN's MCTS tree as a :class:`~repro.engine.driver.WorkSource`.
+
+    One round gathers a frontier through :func:`select_frontier` (UCB1 with
+    virtual-loss exclusion and deeper re-descent), hands unexpanded leaves
+    to the driver, and keeps every tree-shaped concern — potentiality
+    scoring, reward/size back-propagation, exact LP resolution of decided
+    leaves — on this side of the engine contract.  The tree persists across
+    rounds, so budget starvation needs no push-back: a starved leaf simply
+    stays selectable.
+    """
+
+    def __init__(self, root: MctsNode, appver: ApproximateVerifier,
+                 heuristic: BranchingHeuristic, scorer: PotentialityScorer,
+                 spec: Specification, config: AbonnConfig, budget: Budget,
+                 lp_cache: LpCache) -> None:
+        self.root = root
+        self.appver = appver
+        self.heuristic = heuristic
+        self.scorer = scorer
+        self.spec = spec
+        self.config = config
+        self.budget = budget
+        self.lp_cache = lp_cache
+        self.has_unknown_leaf = False
+        self.max_depth = 0
+        self.lp_leaves = 0
+        self._leaves: List[MctsNode] = []
+        self._cursor = 0
+
+    # -- gathering -------------------------------------------------------------
+    def has_work(self) -> bool:
+        """Always true: the tree persists and verdicts surface elsewhere."""
+        # The tree always holds the search state; termination surfaces
+        # through ``round_complete`` (root reward) or the driver's budget
+        # check (timeout).
+        return True
+
+    def begin_round(self, budget: Budget) -> bool:
+        """Select the round's frontier by repeated virtual-loss UCB1 descent."""
+        self._leaves = select_frontier(self.root, self.config.exploration,
+                                       self.config.frontier_size,
+                                       redescend=self.config.deep_redescent)
+        self._cursor = 0
+        if not self._leaves:
+            # Every reachable branch is verified.  Back-propagate -inf from
+            # the dead end, as the sequential loop does; the repeated
+            # descent is sound because select_frontier restored all virtual
+            # state and UCB1 descent is deterministic.
+            propagate_rewards(descend_to_leaf(self.root, self.config.exploration))
+            return False
+        return True
+
+    def next_item(self, budget: Budget, gathered: int, planned: int):
+        """Yield the next selected leaf, re-checking the node headroom."""
+        if self._cursor >= len(self._leaves):
+            return None
+        if self._cursor:
+            # Sequential iterations re-check the budget before every leaf;
+            # charges already committed for earlier expansions (``planned``)
+            # count against the node headroom too.
+            remaining = budget.remaining_nodes()
+            if budget.exhausted() or (remaining is not None
+                                      and remaining <= planned):
+                return None
+        leaf = self._leaves[self._cursor]
+        self._cursor += 1
+        return leaf
+
+    def select_neuron(self, leaf: MctsNode):
+        """Pick the leaf's branching neuron with the configured heuristic."""
+        context = BranchingContext(network=self.appver.lowered,
+                                   spec=self.spec.output_spec,
+                                   report=leaf.outcome.report, splits=leaf.splits,
+                                   evaluate_split=self._probe)
+        return self.heuristic.select(context)
+
+    def child_splits(self, leaf: MctsNode, neuron, phases) -> List[SplitAssignment]:
+        """Record the branch neuron and derive the children's assignments."""
+        leaf.branch_neuron = neuron
+        return [leaf.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
+                for phase in phases]
+
+    def push_back(self, leaf: MctsNode, gathered: int) -> Optional[DriverVerdict]:
+        """Budget starvation: nothing to do, the leaf stays in the tree."""
+        # The leaf was never removed from the tree: it stays selectable, and
+        # the main loop re-checks the budget (surfacing TIMEOUT) next round.
+        return None
+
+    # -- batched exact leaf resolution -----------------------------------------
+    def resolve_leaves(self, leaves: List[MctsNode]) -> Optional[DriverVerdict]:
+        """Resolve decided leaves with one batched, cached leaf-LP call."""
+        if not self.config.lp_leaf_refinement:
+            for leaf in leaves:
+                self.has_unknown_leaf = True
+                leaf.reward = float("-inf")
+                propagate_rewards(leaf.parent or leaf)
+            return None
+        optima = solve_leaf_lp_batch(
+            self.appver.lowered, self.spec.input_box, self.spec.output_spec,
+            [(leaf.splits, leaf.outcome.report) for leaf in leaves],
+            cache=self.lp_cache)
+        for leaf, optimum in zip(leaves, optima):
+            self.lp_leaves += 1
+            self._apply_leaf_optimum(leaf, optimum)
+            propagate_rewards(leaf.parent or leaf)
+            if self.root.reward == float("inf"):
+                # A leaf LP produced a real counterexample: abandon the rest
+                # of the round, exactly as the sequential loop returns.
+                return DriverVerdict(VerificationStatus.FALSIFIED,
+                                     counterexample=self.root.counterexample)
+        return None
+
+    def _apply_leaf_optimum(self, node: MctsNode, optimum) -> None:
+        verdict, counterexample = classify_leaf_optimum(optimum, self.spec,
+                                                        self.appver.network)
+        if verdict == LEAF_FALSIFIED:
+            node.reward = float("inf")
+            node.counterexample = counterexample
+            return
+        if verdict != LEAF_VERIFIED:
+            self.has_unknown_leaf = True
+        node.reward = float("-inf")
+
+    # -- attachment ------------------------------------------------------------
+    def attach(self, leaf: MctsNode, phase: int, splits: SplitAssignment,
+               outcome: AppVerOutcome) -> Optional[DriverVerdict]:
+        """Attach one potentiality-scored child under its frontier leaf."""
+        self.scorer.observe(outcome.p_hat)
+        child = _score_child(leaf, splits, outcome, self.scorer)
+        leaf.children[phase] = child
+        self.max_depth = max(self.max_depth, child.depth)
+        return None
+
+    def attach_exhausted(self) -> Optional[DriverVerdict]:
+        """Wall-clock exhaustion mid-attachment: stop without a verdict."""
+        # Stop attaching; the partial expansion stays in the tree and the
+        # main loop surfaces TIMEOUT.
+        return None
+
+    def leaf_attached(self, leaf: MctsNode, added: int) -> bool:
+        """Back-propagate sizes and rewards; stop on a root counterexample."""
+        propagate_sizes(leaf, added)
+        propagate_rewards(leaf)
+        return self.root.reward == float("inf")
+
+    # -- verdicts --------------------------------------------------------------
+    def round_complete(self) -> Optional[DriverVerdict]:
+        """Map the root reward to a verdict (±inf), or keep searching."""
+        if self.root.reward == float("inf"):
+            return DriverVerdict(VerificationStatus.FALSIFIED,
+                                 counterexample=self.root.counterexample)
+        if self.root.reward == float("-inf"):
+            status = (VerificationStatus.UNKNOWN if self.has_unknown_leaf
+                      else VerificationStatus.VERIFIED)
+            return DriverVerdict(status)
+        return None
+
+    def timeout(self) -> DriverVerdict:
+        """ABONN reports plain TIMEOUT (no bound survives exhaustion)."""
+        return DriverVerdict(VerificationStatus.TIMEOUT)
+
+    def drained(self) -> DriverVerdict:  # pragma: no cover - has_work is constant
+        """Unreachable (``has_work`` is constant); defensive TIMEOUT."""
+        return self.timeout()
+
+    # -- helpers ---------------------------------------------------------------
+    def _probe(self, splits: SplitAssignment) -> float:
+        self.budget.charge_node()
+        return self.appver.evaluate(splits).p_hat
+
+
 class AbonnVerifier(Verifier):
-    """The paper's proposed verifier."""
+    """The paper's proposed verifier.
+
+    ``lp_cache`` optionally shares a leaf-LP cache across runs *on the same
+    verification problem* (the cache key is the leaf's canonical split
+    assignment, which only identifies a sub-problem for a fixed network,
+    input box and output spec); by default every run gets a fresh cache.
+    """
 
     name = "ABONN"
 
-    def __init__(self, config: Optional[AbonnConfig] = None) -> None:
+    def __init__(self, config: Optional[AbonnConfig] = None,
+                 lp_cache: Optional[LpCache] = None) -> None:
         self.config = config or AbonnConfig()
+        self.lp_cache = lp_cache
 
     # -- public API -----------------------------------------------------------
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
+        """Run Alg. 1 on the shared frontier engine until verdict or budget."""
         config = self.config
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, config.bound_method,
@@ -71,6 +275,7 @@ class AbonnVerifier(Verifier):
                                      cache_size=config.bound_cache_size)
         heuristic = make_heuristic(config.heuristic)
         scorer = PotentialityScorer(max(appver.num_relu_neurons, 1), config.lam)
+        lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
 
         # Initialisation (Alg. 1 lines 1-3, 8-9).
         root_outcome = appver.evaluate()
@@ -78,171 +283,39 @@ class AbonnVerifier(Verifier):
         scorer.observe(root_outcome.p_hat)
         if root_outcome.verified or root_outcome.report.infeasible:
             return self._finish(VerificationStatus.VERIFIED, appver, budget,
-                                bound=root_outcome.p_hat, max_depth=0)
+                                lp_cache, bound=root_outcome.p_hat, max_depth=0)
         if root_outcome.falsified:
             return self._finish(VerificationStatus.FALSIFIED, appver, budget,
-                                counterexample=root_outcome.candidate,
+                                lp_cache, counterexample=root_outcome.candidate,
                                 bound=root_outcome.p_hat, max_depth=0)
 
         root = MctsNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
         root.reward = scorer.score(root_outcome.p_hat, False, 0)
-        self._has_unknown_leaf = False
-        self._max_depth = 0
-        self._lp_leaves = 0
 
-        # Main loop (Alg. 1 lines 4-7), expanding up to ``frontier_size``
-        # leaves per iteration through one batched AppVer call.
-        while not budget.exhausted():
-            self._frontier_step(root, appver, heuristic, scorer, spec, budget)
-            if root.reward == float("inf"):
-                return self._finish(VerificationStatus.FALSIFIED, appver, budget,
-                                    counterexample=root.counterexample,
-                                    max_depth=self._max_depth)
-            if root.reward == float("-inf"):
-                status = (VerificationStatus.UNKNOWN if self._has_unknown_leaf
-                          else VerificationStatus.VERIFIED)
-                return self._finish(status, appver, budget, max_depth=self._max_depth)
-        return self._finish(VerificationStatus.TIMEOUT, appver, budget,
-                            max_depth=self._max_depth)
-
-    # -- one frontier-wide MCTS-BaB iteration (Alg. 1 lines 10-21) -------------
-    def _frontier_step(self, root: MctsNode, appver: ApproximateVerifier,
-                       heuristic: BranchingHeuristic, scorer: PotentialityScorer,
-                       spec: Specification, budget: Budget) -> None:
-        """Select up to ``frontier_size`` leaves and expand them in one batch.
-
-        With ``frontier_size=1`` this reproduces the sequential iteration
-        exactly: one UCB1 descent, one (≤ 2-child) batched expansion, one
-        back-propagation, with identical budget charges at identical points.
-        """
-        # Selection (Alg. 1 lines 12-14), frontier-wide with virtual loss.
-        leaves = select_frontier(root, self.config.exploration,
-                                 self.config.frontier_size)
-        if not leaves:
-            # The descent dead-ends: every reachable branch is verified.
-            # Back-propagate -inf from the dead end, as the sequential loop
-            # does.  The repeated descent is sound because select_frontier
-            # restored all virtual state and UCB1 descent is deterministic:
-            # it reaches the same dead end select_frontier found.
-            propagate_rewards(descend_to_leaf(root, self.config.exploration))
-            return
-
-        # Expansion planning (Alg. 1 lines 15-16): pick each leaf's branch
-        # neuron; fully phase-decided leaves are resolved exactly right away.
-        expansions = []
-        planned = 0
-        for index, leaf in enumerate(leaves):
-            if root.reward == float("inf"):
-                return  # a leaf LP just produced a real counterexample
-            if index:
-                # Sequential iterations re-check the budget before every
-                # leaf; charges already committed for earlier expansions
-                # (``planned``) count against the node headroom too.
-                remaining = budget.remaining_nodes()
-                if budget.exhausted() or (remaining is not None
-                                          and remaining <= planned):
-                    break
-            context = BranchingContext(network=appver.lowered, spec=spec.output_spec,
-                                       report=leaf.outcome.report, splits=leaf.splits,
-                                       evaluate_split=self._make_probe(appver, budget))
-            neuron = heuristic.select(context)
-            if neuron is None:
-                budget.charge_node()  # the leaf LP costs about one bound computation
-                self._resolve_leaf(leaf, appver, spec)
-                propagate_rewards(leaf.parent or leaf)
-                continue
-            phases = affordable_phases(budget, planned)
-            if not phases:
-                break  # the node budget affords no further children
-            leaf.branch_neuron = neuron
-            child_splits = [leaf.splits.with_split(
-                ReluSplit(neuron[0], neuron[1], phase)) for phase in phases]
-            expansions.append((leaf, phases, child_splits))
-            planned += len(phases)
-            if len(phases) < 2:
-                break  # only a truncated expansion was affordable
-        if root.reward == float("inf"):
-            return  # the last leaf's LP falsified; skip the planned expansions
-        if not expansions:
-            return
-
-        # Expansion (Alg. 1 lines 17-19): one batched AppVer call bounds the
-        # phase-split children of the whole frontier together.
-        flat_splits = [splits for _, _, child_splits in expansions
-                       for splits in child_splits]
-        outcomes = appver.evaluate_batch(flat_splits)
-
-        # Attachment and back-propagation (Alg. 1 lines 20-21), preserving
-        # the sequential per-child wall-clock checks between siblings and
-        # between frontier leaves.
-        position = 0
-        for index, (leaf, phases, child_splits) in enumerate(expansions):
-            if index and budget.exhausted():
-                break  # the wall clock ran out between frontier leaves
-            added = 0
-            for offset, (phase, splits) in enumerate(zip(phases, child_splits)):
-                if added and budget.exhausted():
-                    break  # the wall clock ran out between the siblings
-                outcome = outcomes[position + offset]
-                budget.charge_node()
-                scorer.observe(outcome.p_hat)
-                child = self._make_child(leaf, splits, outcome, scorer)
-                leaf.children[phase] = child
-                added += 1
-                self._max_depth = max(self._max_depth, child.depth)
-            position += len(phases)
-            if added:
-                propagate_sizes(leaf, added)
-                propagate_rewards(leaf)
-            if root.reward == float("inf"):
-                break  # a real counterexample surfaced; stop attaching more
-
-    def _make_child(self, parent: MctsNode, splits: SplitAssignment,
-                    outcome: AppVerOutcome, scorer: PotentialityScorer) -> MctsNode:
-        child = MctsNode(splits, depth=parent.depth + 1, outcome=outcome, parent=parent)
-        child.reward = scorer.score(outcome.p_hat, outcome.falsified, child.depth)
-        if outcome.report.infeasible:
-            child.reward = float("-inf")
-        if outcome.falsified:
-            child.counterexample = outcome.candidate
-        return child
-
-    def _resolve_leaf(self, node: MctsNode, appver: ApproximateVerifier,
-                      spec: Specification) -> None:
-        """Exactly resolve a node with no unstable neurons left."""
-        if not self.config.lp_leaf_refinement:
-            self._has_unknown_leaf = True
-            node.reward = float("-inf")
-            return
-        optimum = solve_leaf_lp(appver.lowered, spec.input_box, spec.output_spec,
-                                node.splits, node.outcome.report)
-        self._lp_leaves += 1
-        if not optimum.feasible or optimum.value >= 0.0:
-            node.reward = float("-inf")
-            return
-        if optimum.minimizer is None:  # pragma: no cover - solver failure
-            self._has_unknown_leaf = True
-            node.reward = float("-inf")
-            return
-        point = spec.input_box.clip(optimum.minimizer)
-        if spec.is_counterexample(appver.network, point):
-            node.reward = float("inf")
-            node.counterexample = point
-        else:  # pragma: no cover - numerical corner case
-            self._has_unknown_leaf = True
-            node.reward = float("-inf")
+        # Main loop (Alg. 1 lines 4-7) on the shared frontier engine: every
+        # round expands up to ``frontier_size`` leaves through one batched
+        # AppVer call and resolves the round's decided leaves through one
+        # batched, cached leaf-LP call.
+        source = MctsFrontierSource(root, appver, heuristic, scorer, spec,
+                                    config, budget, lp_cache)
+        driver = FrontierDriver(appver, config.frontier_size)
+        verdict = driver.run(source, budget)
+        return self._finish(verdict.status, appver, budget, lp_cache,
+                            counterexample=verdict.counterexample,
+                            bound=verdict.bound, max_depth=source.max_depth,
+                            lp_leaves=source.lp_leaves)
 
     # -- helpers ----------------------------------------------------------------
-    @staticmethod
-    def _make_probe(appver: ApproximateVerifier, budget: Budget):
-        def probe(splits: SplitAssignment) -> float:
-            budget.charge_node()
-            return appver.evaluate(splits).p_hat
-        return probe
+    def _make_child(self, parent: MctsNode, splits: SplitAssignment,
+                    outcome: AppVerOutcome, scorer: PotentialityScorer) -> MctsNode:
+        """Create one potentiality-scored child (kept as a testing seam)."""
+        return _score_child(parent, splits, outcome, scorer)
 
     def _finish(self, status: VerificationStatus, appver: ApproximateVerifier,
-                budget: Budget, counterexample: Optional[np.ndarray] = None,
-                bound: Optional[float] = None, max_depth: int = 0) -> VerificationResult:
+                budget: Budget, lp_cache: LpCache,
+                counterexample: Optional[np.ndarray] = None,
+                bound: Optional[float] = None, max_depth: int = 0,
+                lp_leaves: int = 0) -> VerificationResult:
         return VerificationResult(
             status=status,
             verifier=self.name,
@@ -257,7 +330,8 @@ class AbonnVerifier(Verifier):
                 "exploration": self.config.exploration,
                 "heuristic": self.config.heuristic,
                 "frontier_size": self.config.frontier_size,
-                "lp_leaves_resolved": getattr(self, "_lp_leaves", 0),
+                "lp_leaves_resolved": lp_leaves,
                 "bound_cache": appver.cache_stats(),
+                "lp_cache": lp_cache.stats.as_dict(),
             },
         )

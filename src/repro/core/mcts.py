@@ -136,7 +136,7 @@ def descend_to_leaf(node: MctsNode, exploration: float) -> MctsNode:
 
 
 def select_frontier(root: MctsNode, exploration: float,
-                    limit: int) -> List[MctsNode]:
+                    limit: int, redescend: bool = True) -> List[MctsNode]:
     """Select up to ``limit`` *distinct* unexpanded nodes for batched expansion.
 
     Repeats the UCB1 descent of Alg. 1 with a virtual-loss / exclusion scheme
@@ -147,16 +147,39 @@ def select_frontier(root: MctsNode, exploration: float,
     subtrees.  All virtual state is restored before returning, so the tree
     the caller sees is exactly the tree before the call.
 
+    With ``redescend`` (the default) a descent that dead-ends on an
+    *expanded* node whose children are all exhausted does not end the
+    gathering: the dead end's reward is back-propagated (refreshing any
+    ancestor whose reward had not yet absorbed its exhausted subtree) and
+    the descent retried, so sparser trees still fill their frontier.  Each
+    distinct dead end is re-propagated at most once per call, which bounds
+    the retries by the number of expanded nodes; a repeated dead end means
+    every reachable branch is excluded and the gathering stops.  Because
+    back-propagating from a dead end is exactly what the sequential loop
+    does before its next iteration, re-descending never changes which nodes
+    are eventually selected or charged — it only selects them a round
+    earlier.
+
     With ``limit=1`` this is precisely one sequential UCB1 selection.
     """
     require(limit >= 1, "frontier limit must be positive")
     selected: List[MctsNode] = []
     saved_rewards: List[Tuple[MctsNode, float]] = []
+    redescended: set = set()  # ids of dead ends already back-propagated
     while len(selected) < limit:
         leaf = descend_to_leaf(root, exploration)
-        if leaf.is_expanded or any(leaf is node for node in selected):
-            # Dead end (all reachable subtrees virtually excluded or
-            # exhausted), or an unexpanded root re-selected: stop early.
+        if leaf.is_expanded:
+            # Dead end: all reachable subtrees virtually excluded or
+            # exhausted.  Deeper virtual back-propagation re-descends once
+            # per distinct dead end; the restoration loop below undoes any
+            # virtual component of the refreshed rewards.
+            if not redescend or id(leaf) in redescended:
+                break
+            redescended.add(id(leaf))
+            propagate_rewards(leaf)
+            continue
+        if any(leaf is node for node in selected):
+            # An unexpanded root re-selected: stop early.
             break
         selected.append(leaf)
         saved_rewards.append((leaf, leaf.reward))

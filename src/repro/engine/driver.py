@@ -1,0 +1,403 @@
+"""The shared frontier-driver engine behind every BaB-style verifier.
+
+Before this module existed, the frontier loop — gather up to ``K``
+sub-problems, flatten their phase-split children, bound all of them through
+one batched AppVer call, then attach the results — was implemented three
+times (in ABONN, the BaB baseline, and the αβ-CROWN baseline), each copy
+re-stating the budget invariants.  :class:`FrontierDriver` now owns that
+loop exactly once, parameterised over a :class:`WorkSource` that describes
+*where sub-problems come from* (an MCTS tree, a FIFO/LIFO queue, a
+best-first heap) and *where their children go*.
+
+One driver **round** is:
+
+1. **Gather** — pop up to ``frontier_size`` work items from the source.
+   Items whose branching heuristic finds no unstable neuron are *fully
+   phase-decided leaves*: the driver charges one node for each (the leaf LP
+   costs about one bound computation) and defers them for batched exact
+   resolution.  For every splittable item the driver asks
+   :func:`~repro.verifiers.appver.affordable_phases` which children the
+   node budget still pays for, accounting for charges already committed to
+   earlier items of the same round (``planned``); a starved item is handed
+   back to the source (`push-back`_), and a truncated expansion (only the
+   ``r+`` child affordable) ends the gather.
+2. **Resolve** — all deferred leaves are resolved in pop order through one
+   :func:`~repro.verifiers.milp.solve_leaf_lp_batch` call (the source owns
+   the call so it can thread its :class:`~repro.bounds.cache.LpCache`).
+3. **Expand** — the children of the whole round are flattened into one
+   ``evaluate_batch`` call on the driver's
+   :class:`~repro.verifiers.appver.ApproximateVerifier`; this is the only
+   place in the library where a search driver reaches the batched bound
+   back-ends, so realised batch sizes are accounted exactly once.
+4. **Attach** — outcomes are handed back to the source one child at a time
+   in selection order, each preceded by the sequential wall-clock re-check
+   and followed by one node charge, so a frontier of ``K`` behaves at
+   budget boundaries exactly like ``K`` sequential iterations.
+
+.. _push-back:
+
+**Budget-starvation push-back.**  When ``affordable_phases`` returns no
+phases for a gathered item, the sub-problem is *unresolved but unexpanded*.
+Queue/heap sources must push the item back so the unresolved sub-problem
+keeps the source non-empty and exhaustion surfaces as TIMEOUT — never as a
+spurious VERIFIED from a drained queue; when nothing else was gathered they
+return TIMEOUT immediately.  Tree sources simply leave the leaf in the tree
+(it stays selectable) and let the main loop re-check the budget.
+
+Verdicts flow back as :class:`DriverVerdict` values; ``None`` from a hook
+always means "keep going".  The driver never constructs
+:class:`~repro.verifiers.result.VerificationResult` objects — mapping a
+verdict to the verifier's result format (extras, statistics) stays with the
+verifier.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bounds.splits import SplitAssignment
+from repro.utils.timing import Budget
+from repro.utils.validation import require
+from repro.verifiers.appver import (
+    ApproximateVerifier,
+    AppVerOutcome,
+    affordable_phases,
+)
+from repro.verifiers.result import VerificationStatus
+
+#: A ReLU neuron identified by ``(layer, unit)``.
+Neuron = Tuple[int, int]
+
+
+@dataclass
+class DriverVerdict:
+    """A terminal outcome of a driver run (or of one of its hooks).
+
+    ``status`` is the verification verdict; ``counterexample`` is a real,
+    validated counterexample when the status is FALSIFIED; ``bound`` is the
+    bound the owning verifier wants reported (sources that track the root
+    ``p̂`` attach it to their TIMEOUT verdicts).
+    """
+
+    status: VerificationStatus
+    counterexample: Optional[np.ndarray] = None
+    bound: Optional[float] = None
+
+
+@dataclass
+class Expansion:
+    """One gathered work item together with its planned phase-split children.
+
+    ``item`` is whatever the :class:`WorkSource` yields (an MCTS node, a BaB
+    node, a heap entry); ``phases`` are the affordable child phases in
+    expansion order and ``child_splits`` the corresponding split
+    assignments, index-aligned with ``phases``.
+    """
+
+    item: Any
+    neuron: Neuron
+    phases: Tuple[int, ...]
+    child_splits: List[SplitAssignment]
+
+
+class WorkSource(abc.ABC):
+    """What a verifier must provide to run on the :class:`FrontierDriver`.
+
+    A source is constructed per ``verify()`` run and owns the run's mutable
+    search state (tree / queue / heap, statistics, the budget reference used
+    by probing heuristics, the LP cache).  Hooks returning
+    ``Optional[DriverVerdict]`` end the run when they return a verdict and
+    continue otherwise.
+    """
+
+    @abc.abstractmethod
+    def has_work(self) -> bool:
+        """Whether any unresolved sub-problem remains (checked per round)."""
+
+    def begin_round(self, budget: Budget) -> bool:
+        """Prepare one round; ``False`` skips gathering for this round.
+
+        Tree sources run their frontier selection here (and handle a
+        dead-ended descent by back-propagating before returning ``False``);
+        queue/heap sources need no preparation.
+        """
+        return True
+
+    @abc.abstractmethod
+    def next_item(self, budget: Budget, gathered: int, planned: int):
+        """Pop the next work item, or ``None`` to stop gathering this round.
+
+        ``gathered`` is the number of expansions already planned this round
+        and ``planned`` the node charges they have committed; sources use
+        them for their pre-pop budget policy.  Returning a
+        :class:`DriverVerdict` aborts the run (after deferred leaves are
+        resolved) — this is how queue/heap sources surface wall-clock
+        TIMEOUT when nothing could be gathered.
+        """
+
+    @abc.abstractmethod
+    def select_neuron(self, item) -> Optional[Neuron]:
+        """Pick the item's branching neuron, or ``None`` for a decided leaf."""
+
+    @abc.abstractmethod
+    def child_splits(self, item, neuron: Neuron,
+                     phases: Sequence[int]) -> List[SplitAssignment]:
+        """Split assignments of the item's children, aligned with ``phases``."""
+
+    @abc.abstractmethod
+    def push_back(self, item, gathered: int) -> Optional[DriverVerdict]:
+        """Budget starvation: no child of ``item`` is affordable.
+
+        Queue/heap sources re-enqueue the item (and return TIMEOUT when
+        ``gathered`` is zero, i.e. the whole round starved); tree sources
+        leave the leaf selectable and return ``None``.
+        """
+
+    @abc.abstractmethod
+    def resolve_leaves(self, items: List[Any]) -> Optional[DriverVerdict]:
+        """Exactly resolve fully phase-decided leaves, in pop order.
+
+        The driver has already charged one node per leaf.  Sources resolve
+        all leaves through one :func:`~repro.verifiers.milp.solve_leaf_lp_batch`
+        call (threading their LP cache) and apply the outcomes in order,
+        returning FALSIFIED as soon as an optimum yields a real
+        counterexample.
+        """
+
+    @abc.abstractmethod
+    def attach(self, item, phase: int, splits: SplitAssignment,
+               outcome: AppVerOutcome) -> Optional[DriverVerdict]:
+        """Attach one bounded child (already charged) to the search state."""
+
+    def attach_exhausted(self) -> Optional[DriverVerdict]:
+        """Wall-clock ran out between two children of the same round.
+
+        Queue/heap sources return TIMEOUT; tree sources return ``None`` so
+        the driver just stops attaching (the partial expansion stays in the
+        tree and the main loop surfaces TIMEOUT).
+        """
+        return None
+
+    def leaf_attached(self, item, added: int) -> bool:
+        """All of ``item``'s children for this round are attached.
+
+        ``added`` is at least 1.  Tree sources back-propagate here and
+        return ``True`` to stop attaching the rest of the round (a real
+        counterexample reached the root); others return ``False``.
+        """
+        return False
+
+    def round_complete(self) -> Optional[DriverVerdict]:
+        """Inspect the search state after a round (e.g. the root reward)."""
+        return None
+
+    def truncated(self) -> Optional[DriverVerdict]:
+        """The round's last expansion was truncated to a single child.
+
+        Queue/heap sources return TIMEOUT (the budget affords no sibling and
+        the search cannot make further progress this run); tree sources
+        return ``None`` and let the main loop re-check the budget.
+        """
+        return None
+
+    @abc.abstractmethod
+    def timeout(self) -> DriverVerdict:
+        """The TIMEOUT verdict (sources attach their reported bound)."""
+
+    @abc.abstractmethod
+    def drained(self) -> DriverVerdict:
+        """Verdict when no work remains: VERIFIED, or UNKNOWN when any leaf
+        resisted exact resolution."""
+
+
+class LinearWorkSource(WorkSource):
+    """Shared behaviour of sources backed by a linear container (queue/heap).
+
+    Unlike a tree source, a linear source *removes* items when popping, so
+    the soundness-critical invariants live here exactly once: budget
+    starvation re-inserts the popped item (``_reinsert``) so the unresolved
+    sub-problem keeps the container non-empty and exhaustion surfaces as
+    TIMEOUT — never as a spurious VERIFIED from a drained container — and
+    every exhaustion verdict (``timeout``/``truncated``/``attach_exhausted``)
+    carries the root bound.  Subclasses provide ``_pop`` (which may also
+    record statistics) and ``_reinsert`` (which must undo them).
+    """
+
+    def __init__(self, root_bound: float) -> None:
+        self.root_bound = root_bound
+        self.has_unknown_leaf = False
+
+    def next_item(self, budget: Budget, gathered: int, planned: int):
+        """Pop the next sub-problem, minding the wall clock before the pop."""
+        if not self.has_work():
+            return None
+        if budget.exhausted():
+            if gathered:
+                return None  # charge the gathered batch; TIMEOUT surfaces next round
+            return self.timeout()
+        return self._pop()
+
+    def push_back(self, item, gathered: int) -> Optional[DriverVerdict]:
+        """Budget starvation: re-insert the item (TIMEOUT when round empty)."""
+        if not gathered:
+            return self.timeout()
+        self._reinsert(item)
+        return None
+
+    def attach_exhausted(self) -> Optional[DriverVerdict]:
+        """Wall-clock exhaustion between two children is a TIMEOUT."""
+        return self.timeout()
+
+    def truncated(self) -> Optional[DriverVerdict]:
+        """A truncated expansion means the budget is effectively spent."""
+        return self.timeout()
+
+    def timeout(self) -> DriverVerdict:
+        """TIMEOUT carrying the root bound, as the sequential loops reported."""
+        return DriverVerdict(VerificationStatus.TIMEOUT, bound=self.root_bound)
+
+    def drained(self) -> DriverVerdict:
+        """Container empty: VERIFIED, or UNKNOWN if any leaf resisted the LP."""
+        status = (VerificationStatus.UNKNOWN if self.has_unknown_leaf
+                  else VerificationStatus.VERIFIED)
+        return DriverVerdict(status)
+
+    @abc.abstractmethod
+    def _pop(self):
+        """Remove and return the next sub-problem in exploration order."""
+
+    @abc.abstractmethod
+    def _reinsert(self, item) -> None:
+        """Undo a pop so the item is the next to be re-popped."""
+
+
+class FrontierDriver:
+    """Runs a :class:`WorkSource` to a verdict with frontier-wide batching.
+
+    The driver owns the loop skeleton and the budget invariants — the
+    ``affordable_phases(budget, planned)`` accounting, the one-node charge
+    per attached child and per deferred leaf LP, and the wall-clock
+    re-checks between children — while every search-strategy decision stays
+    in the source.  ``frontier_size=1`` reproduces the sequential drivers'
+    verdicts, counterexamples and charges, with one caveat from the
+    deferred leaf-LP batching: a round's decided leaves resolve *after*
+    gathering, so when a leaf LP falsifies, items popped later in the same
+    round were already popped and charged (further decided leaves charge
+    their LP node; a probing heuristic additionally charges its look-ahead
+    probes) where the sequential loop returned mid-gather before reaching
+    them.  The verdict and counterexample are unchanged; only the terminal
+    round's charge count can differ, and only when a round mixes a
+    falsifying decided leaf with later pops.
+    """
+
+    def __init__(self, appver: ApproximateVerifier, frontier_size: int = 1) -> None:
+        require(frontier_size >= 1, "frontier_size must be positive")
+        self.appver = appver
+        self.frontier_size = int(frontier_size)
+
+    def run(self, source: WorkSource, budget: Budget) -> DriverVerdict:
+        """Drive ``source`` until a verdict: the shared main loop."""
+        while source.has_work():
+            if budget.exhausted():
+                return source.timeout()
+            verdict = self._round(source, budget)
+            if verdict is None:
+                verdict = source.round_complete()
+            if verdict is not None:
+                return verdict
+        return source.drained()
+
+    # -- one gather → resolve → expand → attach round --------------------------
+    def _round(self, source: WorkSource, budget: Budget) -> Optional[DriverVerdict]:
+        if not source.begin_round(budget):
+            return None
+
+        plan: List[Expansion] = []
+        pending: List[Any] = []  # fully phase-decided leaves, in pop order
+        planned = 0
+        truncated = False
+        gather_verdict: Optional[DriverVerdict] = None
+        while len(plan) < self.frontier_size and not truncated:
+            item = source.next_item(budget, len(plan), planned)
+            if item is None:
+                break
+            if isinstance(item, DriverVerdict):
+                gather_verdict = item
+                break
+            neuron = source.select_neuron(item)
+            if neuron is None:
+                # The leaf LP costs about one bound computation; the solve
+                # itself is deferred so the whole round resolves in one
+                # batched call.
+                budget.charge_node()
+                pending.append(item)
+                continue
+            phases = affordable_phases(budget, planned)
+            if not phases:
+                gather_verdict = source.push_back(item, len(plan))
+                break
+            plan.append(Expansion(item, neuron, phases,
+                                  source.child_splits(item, neuron, phases)))
+            planned += len(phases)
+            truncated = len(phases) < 2
+
+        # Deferred exact resolution before any verdict: the leaves were
+        # charged, so their outcomes (in pop order) take effect exactly as
+        # in the sequential interleaving.
+        if pending:
+            verdict = source.resolve_leaves(pending)
+            if verdict is not None:
+                return verdict
+        if gather_verdict is not None:
+            return gather_verdict
+        if not plan:
+            return None
+
+        # One batched AppVer call bounds the children of the whole round;
+        # this is the engine's single point of batched-bound dispatch.
+        flat_splits = [splits for expansion in plan
+                       for splits in expansion.child_splits]
+        outcomes = self.appver.evaluate_batch(flat_splits)
+
+        verdict = self._attach(source, plan, outcomes, budget)
+        if verdict is not None:
+            return verdict
+        if truncated:
+            return source.truncated()
+        return None
+
+    def _attach(self, source: WorkSource, plan: List[Expansion],
+                outcomes: List[AppVerOutcome],
+                budget: Budget) -> Optional[DriverVerdict]:
+        """Hand outcomes back in selection order with sequential charges."""
+        position = 0
+        first_child = True
+        for expansion in plan:
+            added = 0
+            stop = False
+            for offset, (phase, splits) in enumerate(zip(expansion.phases,
+                                                         expansion.child_splits)):
+                if not first_child and budget.exhausted():
+                    # The wall clock ran out between two children.
+                    verdict = source.attach_exhausted()
+                    if verdict is not None:
+                        return verdict
+                    stop = True
+                    break
+                outcome = outcomes[position + offset]
+                budget.charge_node()
+                first_child = False
+                verdict = source.attach(expansion.item, phase, splits, outcome)
+                added += 1
+                if verdict is not None:
+                    return verdict
+            position += len(expansion.phases)
+            if added and source.leaf_attached(expansion.item, added):
+                break  # a real counterexample surfaced; stop attaching more
+            if stop:
+                break
+        return None

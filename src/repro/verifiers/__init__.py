@@ -9,7 +9,12 @@ from repro.verifiers.attack import (
     margin_and_gradient,
     pgd_attack,
 )
-from repro.verifiers.milp import MilpVerifier, RowOptimum, solve_leaf_lp
+from repro.verifiers.milp import (
+    MilpVerifier,
+    RowOptimum,
+    solve_leaf_lp,
+    solve_leaf_lp_batch,
+)
 from repro.verifiers.result import (
     VerificationResult,
     VerificationStatus,
@@ -30,6 +35,7 @@ __all__ = [
     "MilpVerifier",
     "RowOptimum",
     "solve_leaf_lp",
+    "solve_leaf_lp_batch",
     "VerificationResult",
     "VerificationStatus",
     "Verifier",

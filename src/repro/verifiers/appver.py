@@ -239,4 +239,5 @@ class ApproximateVerifier:
         }
 
     def reset_counter(self) -> None:
+        """Zero the AppVer call counter (between benchmark phases)."""
         self.num_calls = 0

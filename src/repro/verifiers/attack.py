@@ -48,6 +48,7 @@ class AttackResult:
 
     @property
     def is_counterexample(self) -> bool:
+        """Whether the best input violates the specification (margin < 0)."""
         return self.best_margin < 0.0
 
 

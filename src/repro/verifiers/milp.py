@@ -12,6 +12,25 @@ capabilities on top of SciPy's HiGHS back-end:
   (every ReLU either stable or split), used by the BaB verifiers to resolve
   leaves exactly.  This mirrors how BaB tools fall back to an LP once no
   unstable neuron remains, which is what makes them complete.
+
+Two execution modes back the leaf-LP hot path (the frontier drivers charge
+roughly one bound computation per leaf, and the LP dominated ABONN's node
+charges on the deeper seed families once bound batching landed):
+
+* :func:`solve_leaf_lp` — one leaf at a time;
+* :func:`solve_leaf_lp_batch` — all fully-decided leaves of one frontier
+  round in a single pass.  A decided leaf's constraint *rows* depend only
+  on the per-layer phase pattern (the bounds from its report enter only the
+  variable-bound vectors), so the batch shares one row block per
+  ``(layer, phase-pattern)`` group — sibling leaves, which agree on every
+  layer except the one holding the flipped neuron, rebuild almost nothing —
+  and computes the spec-row objective vectors once for the whole batch.
+
+Both modes accept a :class:`~repro.bounds.cache.LpCache` that memoises the
+resulting :class:`RowOptimum` keyed by ``SplitAssignment.canonical_key()``
+(mirroring the report entries of the bound cache), so a leaf that is
+reached again — within a batch, later in the run, or in another run on the
+same verification problem sharing the cache — never re-solves its LP.
 """
 
 from __future__ import annotations
@@ -22,6 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.bounds.cache import LpCache
 from repro.bounds.deeppoly import DeepPolyAnalyzer
 from repro.bounds.report import BoundReport
 from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
@@ -218,11 +238,11 @@ class RowOptimum:
     feasible: bool
 
 
-def _solve(objective: np.ndarray, constant: float, builder: _ConstraintBuilder,
+def _solve(objective: np.ndarray, constant: float,
+           constraints: Optional[optimize.LinearConstraint],
            var_lower: np.ndarray, var_upper: np.ndarray,
            integrality: np.ndarray, encoding: _Encoding,
            time_limit: Optional[float]) -> RowOptimum:
-    constraints = builder.to_constraint()
     options = {}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
@@ -241,25 +261,103 @@ def _solve(objective: np.ndarray, constant: float, builder: _ConstraintBuilder,
     return RowOptimum(float(result.fun + constant), minimizer, feasible=True)
 
 
-def solve_leaf_lp(network: LoweredNetwork, box: InputBox, spec: LinearOutputSpec,
-                  splits: SplitAssignment, report: BoundReport,
-                  time_limit: Optional[float] = None) -> RowOptimum:
-    """Exactly resolve a fully phase-decided sub-problem with an LP.
+# ---------------------------------------------------------------------------
+# Batched, cached leaf-LP resolution
+# ---------------------------------------------------------------------------
 
-    Returns the minimum specification margin over the sub-problem's feasible
-    region along with its minimiser; an infeasible region yields ``+inf``
-    (vacuously verified).  Every ReLU neuron must be stable or split.
+def _leaf_phase_signature(network: LoweredNetwork, report: BoundReport,
+                          splits: SplitAssignment) -> Tuple[Tuple[int, ...], ...]:
+    """Per-layer decided phases of a leaf (``+1`` / ``-1`` per neuron).
+
+    Raises ``ValueError`` when any neuron is still unstable — the leaf LP is
+    only defined for fully phase-decided sub-problems.
     """
-    encoding, builder, var_lower, var_upper, _ = _encode_problem(
-        network, box, report, splits, with_binaries=False)
-    integrality = np.zeros(encoding.num_variables)
-    best = RowOptimum(float("inf"), None, feasible=False)
-    any_feasible = False
+    signature = []
+    for layer, size in enumerate(network.relu_layer_sizes()):
+        phases = []
+        for unit in range(size):
+            phase = _phase_of(layer, unit, report, splits)
+            if phase == 0:
+                raise ValueError("leaf LP requires every ReLU neuron to be phase-decided")
+            phases.append(phase)
+        signature.append(tuple(phases))
+    return tuple(signature)
+
+
+def _layer_row_block(network: LoweredNetwork, encoding: _Encoding, layer: int,
+                     phases: Tuple[int, ...]
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The leaf-LP constraint rows contributed by one hidden layer.
+
+    For decided leaves the rows depend only on the layer's phase pattern
+    (ACTIVE: ``h = z`` and ``z >= 0``; INACTIVE: ``z <= 0``), never on the
+    leaf's bound report — which is what lets a batch share row blocks across
+    leaves that agree on the layer.
+    """
+    builder = _ConstraintBuilder(encoding.num_variables)
+    previous_offset = None if layer == 0 else encoding.hidden_offsets[layer - 1]
+    weight = network.weights[layer]
+    bias = network.biases[layer]
+    infinity = float("inf")
+    for unit, phase in enumerate(phases):
+        h_index = encoding.h_index(layer, unit)
+        if phase == ACTIVE:
+            builder.add_affine_row(weight[unit], float(bias[unit]), previous_offset,
+                                   encoding, {h_index: -1.0}, 0.0, 0.0)
+            builder.add_affine_row(weight[unit], float(bias[unit]), previous_offset,
+                                   encoding, {}, 0.0, infinity)
+        else:
+            builder.add_affine_row(weight[unit], float(bias[unit]), previous_offset,
+                                   encoding, {}, -infinity, 0.0)
+    if not builder.rows:
+        empty = np.zeros((0, encoding.num_variables))
+        return empty, np.zeros(0), np.zeros(0)
+    return (np.vstack(builder.rows), np.asarray(builder.lower),
+            np.asarray(builder.upper))
+
+
+def _leaf_variable_bounds(box: InputBox, report: BoundReport,
+                          signature: Tuple[Tuple[int, ...], ...],
+                          encoding: _Encoding) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-leaf variable bounds (inputs from the box, ``h`` from the report)."""
+    var_lower = np.full(encoding.num_variables, -np.inf)
+    var_upper = np.full(encoding.num_variables, np.inf)
+    var_lower[:encoding.num_inputs] = box.lower
+    var_upper[:encoding.num_inputs] = box.upper
+    for layer, phases in enumerate(signature):
+        bounds = report.pre_activation_bounds[layer]
+        for unit, phase in enumerate(phases):
+            h_index = encoding.h_index(layer, unit)
+            if phase == ACTIVE:
+                var_lower[h_index] = max(0.0, float(bounds.lower[unit]))
+                var_upper[h_index] = max(0.0, float(bounds.upper[unit]))
+            else:
+                var_lower[h_index] = 0.0
+                var_upper[h_index] = 0.0
+    return var_lower, var_upper
+
+
+def _row_objectives(network: LoweredNetwork, spec: LinearOutputSpec,
+                    encoding: _Encoding) -> List[Tuple[np.ndarray, float]]:
+    """Objective vector and constant of every spec row over the encoding."""
+    objectives = []
     for row_index in range(spec.num_constraints):
         objective, constant = _objective_vector(network, spec.coefficients[row_index],
                                                 encoding)
-        constant += float(spec.offsets[row_index])
-        optimum = _solve(objective, constant, builder, var_lower, var_upper,
+        objectives.append((objective, constant + float(spec.offsets[row_index])))
+    return objectives
+
+
+def _minimise_rows(objectives: List[Tuple[np.ndarray, float]],
+                   constraints: Optional[optimize.LinearConstraint],
+                   var_lower: np.ndarray, var_upper: np.ndarray,
+                   integrality: np.ndarray, encoding: _Encoding,
+                   time_limit: Optional[float]) -> RowOptimum:
+    """Minimum over all spec rows of one leaf (``+inf`` when infeasible)."""
+    best = RowOptimum(float("inf"), None, feasible=False)
+    any_feasible = False
+    for objective, constant in objectives:
+        optimum = _solve(objective, constant, constraints, var_lower, var_upper,
                          integrality, encoding, time_limit)
         if not optimum.feasible:
             continue
@@ -269,6 +367,136 @@ def solve_leaf_lp(network: LoweredNetwork, box: InputBox, spec: LinearOutputSpec
     if not any_feasible:
         return RowOptimum(float("inf"), None, feasible=False)
     return best
+
+
+def solve_leaf_lp_batch(network: LoweredNetwork, box: InputBox,
+                        spec: LinearOutputSpec,
+                        leaves: Sequence[Tuple[SplitAssignment, BoundReport]],
+                        cache: Optional[LpCache] = None,
+                        time_limit: Optional[float] = None) -> List[RowOptimum]:
+    """Exactly resolve a batch of fully phase-decided sub-problems.
+
+    ``leaves`` pairs each leaf's :class:`~repro.bounds.splits.SplitAssignment`
+    with the :class:`~repro.bounds.report.BoundReport` of its bound analysis.
+    Returns one :class:`RowOptimum` per leaf, in order, equal to what
+    :func:`solve_leaf_lp` computes for each leaf alone.
+
+    The batch is resolved in one pass over shared structure: the variable
+    layout and the per-spec-row objective vectors are computed once; the
+    constraint rows, which depend only on each layer's phase pattern, are
+    built once per ``(layer, phase-pattern)`` group and reused by every leaf
+    agreeing on that layer.  When a :class:`~repro.bounds.cache.LpCache` is
+    supplied, leaves whose ``canonical_key()`` was already resolved — in an
+    earlier call or earlier in this batch — are served from the cache
+    (counted as hits) and never reach the solver.
+    """
+    if not leaves:
+        return []
+    results: List[Optional[RowOptimum]] = [None] * len(leaves)
+    unsolved: List[int] = []        # indices that reach the solver
+    aliases: List[Tuple[int, int]] = []  # (duplicate index, primary index)
+    first_by_key = {}
+    for index, (splits, _) in enumerate(leaves):
+        key = splits.canonical_key()
+        primary = first_by_key.get(key)
+        if primary is not None:
+            # An identical leaf earlier in this batch: reuse its optimum.
+            if cache is not None:
+                cache.stats.hits += 1
+            aliases.append((index, primary))
+            continue
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        first_by_key[key] = index
+        unsolved.append(index)
+
+    if unsolved:
+        encoding = _build_encoding(network, (), with_binaries=False)
+        integrality = np.zeros(encoding.num_variables)
+        objectives = _row_objectives(network, spec, encoding)
+        row_blocks = {}  # (layer, phase pattern) -> shared row block
+        for index in unsolved:
+            splits, report = leaves[index]
+            canonical_key = splits.canonical_key()
+            signature = _leaf_phase_signature(network, report, splits)
+            blocks = []
+            for layer, phases in enumerate(signature):
+                block_key = (layer, phases)
+                block = row_blocks.get(block_key)
+                if block is None:
+                    block = _layer_row_block(network, encoding, layer, phases)
+                    row_blocks[block_key] = block
+                blocks.append(block)
+            if blocks and sum(block[0].shape[0] for block in blocks):
+                matrix = sparse.csr_matrix(np.vstack([block[0] for block in blocks]))
+                constraints = optimize.LinearConstraint(
+                    matrix, np.concatenate([block[1] for block in blocks]),
+                    np.concatenate([block[2] for block in blocks]))
+            else:
+                constraints = None
+            var_lower, var_upper = _leaf_variable_bounds(box, report,
+                                                         signature, encoding)
+            optimum = _minimise_rows(objectives, constraints, var_lower, var_upper,
+                                     integrality, encoding, time_limit)
+            results[index] = optimum
+            if cache is not None:
+                cache.record_solve()
+                cache.put(canonical_key, optimum)
+
+    for duplicate, primary in aliases:
+        results[duplicate] = results[primary]
+    return results  # type: ignore[return-value]
+
+
+#: Verdict of one exactly resolved leaf (see :func:`classify_leaf_optimum`).
+LEAF_VERIFIED = "verified"
+LEAF_UNKNOWN = "unknown"
+LEAF_FALSIFIED = "falsified"
+
+
+def classify_leaf_optimum(optimum: RowOptimum, spec: Specification,
+                          network: Network) -> Tuple[str, Optional[np.ndarray]]:
+    """Interpret one leaf optimum soundly; returns ``(verdict, counterexample)``.
+
+    The single shared reading every BaB work source applies to an exact
+    leaf resolution:
+
+    * infeasible region or non-negative minimum — the leaf is *verified*
+      (``LEAF_VERIFIED``);
+    * a negative minimum whose clipped minimiser is a real counterexample of
+      the original problem — *falsified* (``LEAF_FALSIFIED``, with the
+      validated point);
+    * anything else (solver failure without a minimiser, or a spurious
+      minimiser that does not reproduce the violation) — *unknown*
+      (``LEAF_UNKNOWN``), which keeps completeness honest.
+    """
+    if not optimum.feasible or optimum.value >= 0.0:
+        return LEAF_VERIFIED, None
+    if optimum.minimizer is None:  # pragma: no cover - solver failure
+        return LEAF_UNKNOWN, None
+    point = spec.input_box.clip(optimum.minimizer)
+    if spec.is_counterexample(network, point):
+        return LEAF_FALSIFIED, point
+    return LEAF_UNKNOWN, None  # pragma: no cover - numerical corner case
+
+
+def solve_leaf_lp(network: LoweredNetwork, box: InputBox, spec: LinearOutputSpec,
+                  splits: SplitAssignment, report: BoundReport,
+                  time_limit: Optional[float] = None,
+                  cache: Optional[LpCache] = None) -> RowOptimum:
+    """Exactly resolve a fully phase-decided sub-problem with an LP.
+
+    Returns the minimum specification margin over the sub-problem's feasible
+    region along with its minimiser; an infeasible region yields ``+inf``
+    (vacuously verified).  Every ReLU neuron must be stable or split.  A
+    supplied :class:`~repro.bounds.cache.LpCache` memoises the optimum by
+    the assignment's canonical key (see :func:`solve_leaf_lp_batch`).
+    """
+    return solve_leaf_lp_batch(network, box, spec, [(splits, report)],
+                               cache=cache, time_limit=time_limit)[0]
 
 
 class MilpVerifier(Verifier):
@@ -281,6 +509,8 @@ class MilpVerifier(Verifier):
 
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
+        """Decide the problem exactly: DeepPoly pre-pass, then one MILP per
+        specification row (stopping at the first violated row)."""
         budget = make_budget(budget, default_nodes=10_000)
         lowered = network.lowered()
         report = DeepPolyAnalyzer(lowered).analyze(spec.input_box,
@@ -295,6 +525,7 @@ class MilpVerifier(Verifier):
         splits = SplitAssignment.empty()
         encoding, builder, var_lower, var_upper, has_unstable = _encode_problem(
             lowered, spec.input_box, report, splits, with_binaries=True)
+        constraints = builder.to_constraint()
         integrality = np.zeros(encoding.num_variables)
         for index in encoding.binary_index.values():
             integrality[index] = 1
@@ -313,7 +544,7 @@ class MilpVerifier(Verifier):
             if budget.max_seconds is not None:
                 remaining = max(budget.max_seconds - budget.elapsed_seconds, 0.1)
                 time_limit = remaining if time_limit is None else min(time_limit, remaining)
-            optimum = _solve(objective, constant, builder, var_lower, var_upper,
+            optimum = _solve(objective, constant, constraints, var_lower, var_upper,
                              integrality, encoding, time_limit)
             budget.charge_node()
             if not optimum.feasible:

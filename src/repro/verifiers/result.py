@@ -23,6 +23,7 @@ class VerificationStatus(enum.Enum):
 
     @property
     def is_conclusive(self) -> bool:
+        """Whether this status settles the problem (verified or falsified)."""
         return self in (VerificationStatus.VERIFIED, VerificationStatus.FALSIFIED)
 
 
@@ -54,6 +55,7 @@ class VerificationResult:
         return spec.is_counterexample(network, self.counterexample)
 
     def summary(self) -> str:
+        """One human-readable line: verifier, verdict, time, nodes, bound."""
         parts = [f"{self.verifier}: {self.status.value}",
                  f"time={self.elapsed_seconds:.3f}s",
                  f"nodes={self.nodes_explored}"]

@@ -1,0 +1,241 @@
+"""Tests for the shared frontier engine (``repro.engine.driver``).
+
+Two layers of coverage:
+
+* **contract tests** drive :class:`FrontierDriver` with a scripted
+  :class:`WorkSource` and a stub AppVer, pinning the round lifecycle —
+  charge points, deferred leaf-LP resolution order, starvation push-back,
+  truncation — independently of any real verifier;
+* **integration tests** assert verdict equality at ``K ∈ {1, 2, 8}`` for
+  all three work sources (MCTS tree, FIFO/LIFO queue, best-first heap) and
+  that the engine is the *only* place that dispatches batched bounds.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bab import BaBBaselineVerifier
+from repro.baselines.alphabeta_crown import AlphaBetaCrownVerifier
+from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
+from repro.core.abonn import AbonnVerifier
+from repro.core.config import AbonnConfig
+from repro.engine.driver import DriverVerdict, FrontierDriver, WorkSource
+from repro.specs.robustness import local_robustness_spec
+from repro.utils import Budget
+from repro.verifiers.result import VerificationStatus
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def problem(dataset, index, epsilon):
+    image, label = dataset.sample(index)
+    return local_robustness_spec(image.reshape(-1), epsilon, label,
+                                 dataset.num_classes)
+
+
+class StubAppver:
+    """Records evaluate_batch calls and returns placeholder outcomes."""
+
+    def __init__(self):
+        self.batches = []
+
+    def evaluate_batch(self, splits_list):
+        self.batches.append(list(splits_list))
+        return [f"outcome-{i}" for i in range(len(splits_list))]
+
+
+class ScriptedSource(WorkSource):
+    """A WorkSource driven by a script of (kind, payload) work items.
+
+    ``items`` entries: ``("leaf", name)`` → fully decided leaf;
+    ``("split", name)`` → splittable item with two children.
+    """
+
+    def __init__(self, items, resolve_verdict=None, starve_after=None):
+        self.items = list(items)
+        self.resolve_verdict = resolve_verdict
+        self.starve_after = starve_after  # item names that starve (no phases)
+        self.events = []
+        self.resolved = []
+        self.attached = []
+        self.unknown = False
+
+    def has_work(self):
+        return bool(self.items)
+
+    def next_item(self, budget, gathered, planned):
+        if not self.items:
+            return None
+        return self.items.pop(0)
+
+    def select_neuron(self, item):
+        kind, name = item
+        return None if kind == "leaf" else (0, 0)
+
+    def child_splits(self, item, neuron, phases):
+        return [SplitAssignment.empty() for _ in phases]
+
+    def push_back(self, item, gathered):
+        self.events.append(("push_back", item[1], gathered))
+        if not gathered:
+            return self.timeout()
+        self.items.insert(0, item)
+        return None
+
+    def resolve_leaves(self, items):
+        self.resolved.append([name for _, name in items])
+        return self.resolve_verdict
+
+    def attach(self, item, phase, splits, outcome):
+        self.attached.append((item[1], phase, outcome))
+        return None
+
+    def timeout(self):
+        return DriverVerdict(VerificationStatus.TIMEOUT)
+
+    def drained(self):
+        return DriverVerdict(VerificationStatus.VERIFIED)
+
+
+class TestDriverContract:
+    def test_rejects_invalid_frontier_size(self):
+        with pytest.raises(ValueError):
+            FrontierDriver(StubAppver(), frontier_size=0)
+
+    def test_round_gathers_up_to_frontier_size_and_batches_children(self):
+        appver = StubAppver()
+        source = ScriptedSource([("split", "a"), ("split", "b"), ("split", "c")])
+        driver = FrontierDriver(appver, frontier_size=2)
+        verdict = driver.run(source, Budget())
+        # Two rounds of two/one expansions; every child bounded in one call
+        # per round, attached in order, then the drained verdict.
+        assert verdict.status == VerificationStatus.VERIFIED
+        assert [len(batch) for batch in appver.batches] == [4, 2]
+        assert [name for name, _, _ in source.attached] == ["a", "a", "b", "b",
+                                                            "c", "c"]
+
+    def test_children_charge_one_node_each(self):
+        appver = StubAppver()
+        source = ScriptedSource([("split", "a"), ("split", "b")])
+        budget = Budget()
+        FrontierDriver(appver, frontier_size=2).run(source, budget)
+        assert budget.nodes == 4  # two children per expansion
+
+    def test_decided_leaves_charged_and_resolved_in_pop_order(self):
+        appver = StubAppver()
+        source = ScriptedSource([("leaf", "l1"), ("split", "a"), ("leaf", "l2")])
+        budget = Budget()
+        verdict = FrontierDriver(appver, frontier_size=8).run(source, budget)
+        assert verdict.status == VerificationStatus.VERIFIED
+        # One charge per leaf LP + two child charges.
+        assert budget.nodes == 4
+        assert source.resolved == [["l1", "l2"]]
+
+    def test_lp_falsification_aborts_round_before_bounding(self):
+        appver = StubAppver()
+        falsified = DriverVerdict(VerificationStatus.FALSIFIED)
+        source = ScriptedSource([("split", "a"), ("leaf", "bad")],
+                                resolve_verdict=falsified)
+        verdict = FrontierDriver(appver, frontier_size=8).run(source, Budget())
+        assert verdict.status == VerificationStatus.FALSIFIED
+        # The planned expansion of "a" must never have been bounded.
+        assert appver.batches == []
+        assert source.attached == []
+
+    def test_starved_round_resolves_pending_before_timing_out(self):
+        appver = StubAppver()
+        source = ScriptedSource([("leaf", "l"), ("split", "a")])
+        # The leaf LP charge exhausts the single node of budget, so "a"
+        # starves with nothing gathered: push_back returns TIMEOUT — but the
+        # charged leaf must still be resolved first.
+        verdict = FrontierDriver(appver, frontier_size=2).run(
+            source, Budget(max_nodes=1))
+        assert ("push_back", "a", 0) in source.events
+        assert source.resolved == [["l"]]
+        assert verdict.status == VerificationStatus.TIMEOUT
+        assert appver.batches == []
+
+    def test_push_back_keeps_item_for_next_round(self):
+        appver = StubAppver()
+
+        class StarvingOnce(ScriptedSource):
+            def __init__(self, items):
+                super().__init__(items)
+                self.starved_names = []
+
+        source = StarvingOnce([("split", "a"), ("split", "b")])
+        budget = Budget(max_nodes=2)  # round 1: a's 2 children; b starves
+        verdict = FrontierDriver(appver, frontier_size=2).run(source, budget)
+        # b was pushed back (gathered=1), the first batch holds only a's
+        # children, and exhaustion then surfaces as the source's TIMEOUT.
+        assert ("push_back", "b", 1) in source.events
+        assert [len(batch) for batch in appver.batches] == [2]
+        assert verdict.status == VerificationStatus.TIMEOUT
+
+
+class TestVerdictEqualityAcrossSources:
+    """Verdicts must not depend on K for any of the three work sources."""
+
+    @pytest.mark.parametrize("index,epsilon", [(12, 0.2), (13, 0.2), (13, 0.12)])
+    def test_mcts_source(self, index, epsilon, trained_network):
+        network, dataset = trained_network
+        spec = problem(dataset, index, epsilon)
+        statuses = {
+            AbonnVerifier(AbonnConfig(frontier_size=k)).verify(
+                network, spec, Budget(max_nodes=2000)).status
+            for k in (1, 2, 8)
+        }
+        assert len(statuses) == 1
+
+    @pytest.mark.parametrize("exploration", ["bfs", "dfs"])
+    def test_queue_source(self, exploration, trained_network):
+        network, dataset = trained_network
+        spec = problem(dataset, 13, 0.2)
+        statuses = {
+            BaBBaselineVerifier(exploration=exploration,
+                                frontier_size=k).verify(
+                network, spec, Budget(max_nodes=2000)).status
+            for k in (1, 2, 8)
+        }
+        assert len(statuses) == 1
+
+    def test_heap_source(self, trained_network):
+        network, dataset = trained_network
+        spec = problem(dataset, 13, 0.2)
+        statuses = {
+            AlphaBetaCrownVerifier(frontier_size=k).verify(
+                network, spec, Budget(max_nodes=2000)).status
+            for k in (1, 2, 8)
+        }
+        assert len(statuses) == 1
+
+    def test_lp_cache_stats_exposed_by_all_sources(self, trained_network):
+        network, dataset = trained_network
+        spec = problem(dataset, 13, 0.12)
+        for verifier in (AbonnVerifier(AbonnConfig(frontier_size=2)),
+                         BaBBaselineVerifier(frontier_size=2),
+                         AlphaBetaCrownVerifier(frontier_size=2)):
+            result = verifier.verify(network, spec, Budget(max_nodes=300))
+            stats = result.extras["lp_cache"]
+            assert set(stats) == {"hits", "misses", "solves", "evictions",
+                                  "hit_rate"}
+            assert stats["misses"] == stats["solves"]
+
+
+class TestSingleFrontierLoop:
+    def test_only_the_engine_dispatches_batched_bounds(self):
+        """The gather/flatten/attach loop exists exactly once: the three
+        driver modules never call the batched bound entry points."""
+        drivers = [
+            REPO_ROOT / "src" / "repro" / "core" / "abonn.py",
+            REPO_ROOT / "src" / "repro" / "bab" / "baseline.py",
+            REPO_ROOT / "src" / "repro" / "baselines" / "alphabeta_crown.py",
+        ]
+        for path in drivers:
+            text = path.read_text(encoding="utf-8")
+            assert "evaluate_batch" not in text, f"{path.name} bypasses the engine"
+            assert "engine" in text, f"{path.name} does not use the engine"
+        engine = (REPO_ROOT / "src" / "repro" / "engine" / "driver.py").read_text(
+            encoding="utf-8")
+        assert engine.count("self.appver.evaluate_batch") == 1

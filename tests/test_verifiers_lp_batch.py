@@ -1,0 +1,189 @@
+"""Tests for batched + cached leaf-LP resolution (``solve_leaf_lp_batch``)."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bounds.cache import LpCache
+from repro.bounds.splits import SplitAssignment
+from repro.nn import dense_network
+from repro.specs.robustness import local_robustness_spec
+from repro.verifiers.appver import ApproximateVerifier
+from repro.verifiers.milp import (
+    RowOptimum,
+    _encode_problem,
+    _objective_vector,
+    _solve,
+    solve_leaf_lp,
+    solve_leaf_lp_batch,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+# The sibling-heavy decided-leaf generator is shared with the CI-gated
+# benchmark so the acceptance workload and the tested workload never drift.
+from bench_batching import _decided_leaf_workload  # noqa: E402
+
+
+def _problem(network, reference, epsilon):
+    reference = np.asarray(reference, dtype=float)
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    return local_robustness_spec(reference, epsilon, label, network.output_dim)
+
+
+def _reference_leaf_lp(lowered, box, spec, splits, report):
+    """The pre-batching leaf LP, built through the *independent*
+    ``_encode_problem`` encoding (the MILP verifier's row construction) —
+    guards the new per-layer row blocks against an encoding bug that would
+    fool a batch-vs-wrapper self-comparison."""
+    encoding, builder, var_lower, var_upper, _ = _encode_problem(
+        lowered, box, report, splits, with_binaries=False)
+    constraints = builder.to_constraint()
+    integrality = np.zeros(encoding.num_variables)
+    best = RowOptimum(float("inf"), None, feasible=False)
+    any_feasible = False
+    for row_index in range(spec.num_constraints):
+        objective, constant = _objective_vector(lowered,
+                                                spec.coefficients[row_index],
+                                                encoding)
+        constant += float(spec.offsets[row_index])
+        optimum = _solve(objective, constant, constraints, var_lower, var_upper,
+                         integrality, encoding, None)
+        if not optimum.feasible:
+            continue
+        any_feasible = True
+        if optimum.value < best.value or best.minimizer is None:
+            best = optimum
+    if not any_feasible:
+        return RowOptimum(float("inf"), None, feasible=False)
+    return best
+
+
+@pytest.fixture(scope="module")
+def lp_workload():
+    network = dense_network([3, 6, 5, 3], seed=4)
+    spec = _problem(network, [0.5, 0.4, 0.6], 0.25)
+    lowered, leaves = _decided_leaf_workload(network, spec, clusters=3, seed=3)
+    assert len(leaves) >= 4, "workload generator produced too few decided leaves"
+    return lowered, spec, leaves
+
+
+class TestBatchedLeafLp:
+    def test_batch_matches_independent_reference_encoding(self, lp_workload):
+        """The batched row blocks must reproduce the ``_encode_problem``
+        encoding exactly — a genuinely independent construction, since
+        ``solve_leaf_lp`` itself now delegates to the batch path."""
+        lowered, spec, leaves = lp_workload
+        reference = [_reference_leaf_lp(lowered, spec.input_box,
+                                        spec.output_spec, splits, report)
+                     for splits, report in leaves]
+        batched = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                      leaves)
+        for a, b in zip(reference, batched):
+            assert a.feasible == b.feasible
+            if a.feasible:
+                assert a.value == pytest.approx(b.value, abs=1e-9)
+                if a.minimizer is not None:
+                    np.testing.assert_allclose(a.minimizer, b.minimizer,
+                                               atol=1e-9)
+
+    def test_batch_matches_one_at_a_time(self, lp_workload):
+        lowered, spec, leaves = lp_workload
+        single = [solve_leaf_lp(lowered, spec.input_box, spec.output_spec,
+                                splits, report) for splits, report in leaves]
+        batched = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                      leaves)
+        assert len(batched) == len(single)
+        for a, b in zip(single, batched):
+            assert a.feasible == b.feasible
+            if a.feasible:
+                assert a.value == pytest.approx(b.value, abs=1e-9)
+                if a.minimizer is None:
+                    assert b.minimizer is None
+                else:
+                    np.testing.assert_allclose(a.minimizer, b.minimizer,
+                                               atol=1e-9)
+
+    def test_empty_batch(self, lp_workload):
+        lowered, spec, _ = lp_workload
+        assert solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                   []) == []
+
+    def test_rejects_undecided_leaves(self, lp_workload):
+        lowered, spec, leaves = lp_workload
+        network = dense_network([3, 6, 5, 3], seed=4)
+        root_report = ApproximateVerifier(network, spec,
+                                          use_cache=False).evaluate().report
+        assert root_report.unstable_neurons(), "root must have unstable neurons"
+        with pytest.raises(ValueError):
+            solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                [(SplitAssignment.empty(), root_report)])
+
+
+class TestLpCache:
+    def test_hit_returns_identical_row_optimum(self, lp_workload):
+        lowered, spec, leaves = lp_workload
+        cache = LpCache()
+        cold = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                   leaves, cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == len(leaves)
+        assert cache.stats.solves == len(leaves)
+        warm = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                   leaves, cache=cache)
+        assert cache.stats.hits == len(leaves)
+        assert cache.stats.solves == len(leaves)  # nothing re-solved
+        for a, b in zip(cold, warm):
+            assert a is b  # the identical object, not a recomputation
+
+    def test_duplicates_within_one_batch_solve_once(self, lp_workload):
+        lowered, spec, leaves = lp_workload
+        cache = LpCache()
+        doubled = list(leaves) + list(leaves)
+        results = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                      doubled, cache=cache)
+        assert cache.stats.solves == len(leaves)
+        assert cache.stats.hits == len(leaves)
+        for first, second in zip(results[:len(leaves)], results[len(leaves):]):
+            assert first is second
+
+    def test_single_leaf_path_uses_cache(self, lp_workload):
+        lowered, spec, leaves = lp_workload
+        splits, report = leaves[0]
+        cache = LpCache()
+        first = solve_leaf_lp(lowered, spec.input_box, spec.output_spec,
+                              splits, report, cache=cache)
+        second = solve_leaf_lp(lowered, spec.input_box, spec.output_spec,
+                               splits, report, cache=cache)
+        assert first is second
+        assert cache.stats.solves == 1
+
+    def test_eviction_respects_lru_order(self):
+        cache = LpCache(max_entries=2)
+        a = RowOptimum(1.0, None, feasible=True)
+        b = RowOptimum(2.0, None, feasible=True)
+        c = RowOptimum(3.0, None, feasible=True)
+        cache.put(("a",), a)
+        cache.put(("b",), b)
+        assert cache.get(("a",)) is a  # refreshes "a" to most-recent
+        cache.put(("c",), c)           # evicts "b", the least recent
+        assert cache.stats.evictions == 1
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is a
+        assert cache.get(("c",)) is c
+        assert len(cache) == 2
+
+    def test_rejects_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LpCache(max_entries=0)
+
+    def test_hit_rate(self):
+        cache = LpCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put(("k",), RowOptimum(0.0, None, feasible=True))
+        cache.get(("k",))
+        cache.get(("missing",))
+        assert cache.stats.hit_rate == pytest.approx(0.5)

@@ -1,0 +1,116 @@
+"""Docstring checker for public callables (stdlib only, offline).
+
+Walks the given Python files (directories are scanned recursively for
+``*.py``) with :mod:`ast` — no imports of the checked code, so the tool
+runs in the dependency-free docs CI job — and reports every *public*
+callable without a docstring:
+
+* module-level functions and classes whose name has no leading underscore;
+* public methods of public classes (dunder methods are exempt — this
+  repository documents construction in the class docstring — as are
+  ``@property`` setters and ``@overload`` stubs);
+* the module itself.
+
+The repository gates its engine and verifier surfaces on this check
+(``tools/check_docstrings.py src/repro/engine src/repro/verifiers``): the
+:class:`~repro.engine.driver.WorkSource` hooks and the batched verifier
+entry points are contracts three drivers rely on, so an undocumented public
+callable there is treated as a CI failure, mirroring how
+``check_markdown_links.py`` gates the prose docs.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+def python_files(targets: Iterable[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``*.py`` paths."""
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+#: Decorators whose targets need no docstring: typing stubs and property
+#: companions (documented on the getter).
+EXEMPT_DECORATORS = {"overload", "setter", "deleter"}
+
+
+def _is_public_name(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _decorator_name(decorator: ast.AST) -> str:
+    """The terminal identifier of a decorator (``prop.setter`` → ``setter``)."""
+    target = decorator
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return ""
+
+
+def _needs_docstring(node: ast.AST, owner_public: bool) -> bool:
+    name = getattr(node, "name", "")
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    for decorator in getattr(node, "decorator_list", []):
+        if _decorator_name(decorator) in EXEMPT_DECORATORS:
+            return False
+    return owner_public and _is_public_name(name)
+
+
+def undocumented(path: Path) -> List[Tuple[Path, int, str]]:
+    """Return ``(file, line, qualified name)`` for every missing docstring."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    problems: List[Tuple[Path, int, str]] = []
+    module_public = _is_public_name(path.stem) or path.stem == "__init__"
+    if module_public and not ast.get_docstring(tree):
+        problems.append((path, 1, "<module>"))
+
+    def visit(body, prefix: str, owner_public: bool) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _needs_docstring(node, owner_public) and not ast.get_docstring(node):
+                    problems.append((path, node.lineno, f"{prefix}{node.name}"))
+            elif isinstance(node, ast.ClassDef):
+                class_public = owner_public and _is_public_name(node.name)
+                if class_public and not ast.get_docstring(node):
+                    problems.append((path, node.lineno, f"{prefix}{node.name}"))
+                visit(node.body, f"{prefix}{node.name}.", class_public)
+
+    visit(tree.body, "", module_public)
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_docstrings.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    files = python_files(argv)
+    missing = [str(path) for path in files if not path.exists()]
+    for path in missing:
+        print(f"MISSING INPUT: {path}")
+    problems: List[Tuple[Path, int, str]] = []
+    for path in files:
+        if path.exists():
+            problems.extend(undocumented(path))
+    for path, line, name in problems:
+        print(f"UNDOCUMENTED: {path}:{line}: {name}")
+    if problems or missing:
+        return 1
+    print(f"ok: {len(files)} file(s), all public callables documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,8 +6,12 @@ Validates every inline link ``[text](target)`` in the given Markdown files
 * relative file targets must exist on disk, resolved against the linking
   file's directory;
 * anchor fragments (``#section``, alone or after a ``.md`` target) must
-  match a heading in the target file, using GitHub's slugification rules
-  (lowercase, spaces to hyphens, punctuation stripped);
+  match an anchor in the target file, using GitHub's slugification rules
+  (lowercase, spaces to hyphens, punctuation stripped).  Anchors come from
+  ATX headings (``## Title``), setext headings (underlined with ``===`` or
+  ``---``), and explicit HTML anchors (``<a name="...">``, ``id="..."``);
+  duplicated heading titles get GitHub's ``-1``, ``-2``, … suffixes, so
+  ``#title-1`` resolves iff the title really occurs twice;
 * external targets (``http://``, ``https://``, ``mailto:``) are skipped —
   CI must stay offline-deterministic.
 
@@ -26,6 +30,10 @@ from typing import Iterable, List, Tuple
 #: Inline Markdown links; deliberately simple — no nested parentheses.
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+#: Setext heading underlines (the heading text is the preceding line).
+SETEXT_PATTERN = re.compile(r"^\s{0,3}(=+|-+)\s*$")
+#: Explicit HTML anchors: <a name="..."> / <a id="..."> / id="..." on any tag.
+HTML_ANCHOR_PATTERN = re.compile(r"<[^>]*\b(?:name|id)\s*=\s*[\"']([^\"']+)[\"']")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
 
 
@@ -48,17 +56,42 @@ def markdown_files(targets: Iterable[str]) -> List[Path]:
 
 
 def heading_slugs(path: Path) -> set:
+    """Every anchor a fragment may target in ``path``.
+
+    Collects ATX and setext headings plus explicit HTML anchors, and
+    numbers repeated heading slugs the way GitHub does: the first
+    occurrence keeps the plain slug, later ones get ``-1``, ``-2``, …
+    """
     slugs = set()
+    counts: dict = {}
+
+    def add_heading(text: str) -> None:
+        slug = github_slug(text)
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if not seen else f"{slug}-{seen}")
+
     in_code_fence = False
+    previous = ""
     for line in path.read_text(encoding="utf-8").splitlines():
         if line.lstrip().startswith("```"):
             in_code_fence = not in_code_fence
+            previous = ""
             continue
         if in_code_fence:
             continue
+        for anchor in HTML_ANCHOR_PATTERN.findall(line):
+            slugs.add(anchor)
         match = HEADING_PATTERN.match(line)
         if match:
-            slugs.add(github_slug(match.group(1)))
+            add_heading(match.group(1))
+            previous = ""
+            continue
+        if SETEXT_PATTERN.match(line) and previous.strip():
+            add_heading(previous)
+            previous = ""
+            continue
+        previous = line
     return slugs
 
 
