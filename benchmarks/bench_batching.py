@@ -26,16 +26,29 @@ With ``--lp`` the benchmark exercises the batched + cached leaf-LP path:
   (sibling-heavy, as frontier rounds produce them) one-by-one via
   ``solve_leaf_lp``, batched via ``solve_leaf_lp_batch``, and batched again
   against a warm ``LpCache`` — asserting identical optima and reporting
-  the cache hit/solve counters;
+  the cache hit/solve counters; the stacked multi-objective row solve
+  (``stack_rows=True``) is additionally gated for optima equal to the
+  per-row path;
 * end-to-end ABONN runs at ``frontier_size ∈ {1, 2, 8}`` *share* one
   ``LpCache`` per problem (sound: the cache key is the canonical split
-  assignment, which identifies a sub-problem for a fixed network/box/spec),
-  so re-visited leaves across the sweep never re-solve — verdicts must not
-  depend on the frontier size or on cache hits.
+  assignment scoped by the problem fingerprint), so re-visited leaves
+  across the sweep never re-solve — verdicts must not depend on the
+  frontier size or on cache hits.
+
+With ``--incremental`` the benchmark measures the incremental (rank-1
+parent-pass reuse) bound path: ABONN runs at ``K ∈ {1, 2, 8}`` with the
+incremental path on and off must produce identical verdicts, node charges
+and counterexamples, and a replay of the recorded ``K=8`` frontier rounds
+(mode-interleaved repetitions, min per round) must show the per-child
+bound-time speedup the acceptance gate requires (≥1.5x median on the dense
+families in full mode).
 
 Results are printed as JSON and written to
 ``benchmarks/output/BENCH_batching.json`` so future runs can track the
-speedup.  Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the
+speedup; a stable top-level ``summary`` block (median per-child bound
+times, LP solves, cache hit rates) feeds
+``tools/check_bench_regression.py``, which CI runs against the committed
+baseline.  Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the
 workload so the benchmark runs in CI in a few seconds.
 """
 
@@ -46,6 +59,7 @@ import json
 import os
 import sys
 import time
+from statistics import median
 from pathlib import Path
 from typing import Dict, List, Tuple
 
@@ -229,6 +243,15 @@ def bench_lp(family_name: str, clusters: int, frontier_sizes,
                                leaves, cache=cache)
     warm_seconds = time.perf_counter() - start
 
+    # The stacked multi-objective row solve must agree with the per-row
+    # loop: one selector MILP per leaf versus one LP per (leaf, spec row).
+    start = time.perf_counter()
+    stacked = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                  leaves, stack_rows=True)
+    stacked_seconds = time.perf_counter() - start
+    per_row = solve_leaf_lp_batch(lowered, spec.input_box, spec.output_spec,
+                                  leaves, stack_rows=False)
+
     def equal(a, b):
         if a.feasible != b.feasible:
             return False
@@ -238,6 +261,7 @@ def bench_lp(family_name: str, clusters: int, frontier_sizes,
 
     optima_equal = (all(equal(a, b) for a, b in zip(sequential, batched))
                     and all(a is b for a, b in zip(batched, warm)))
+    stacked_optima_equal = all(equal(a, b) for a, b in zip(stacked, per_row))
 
     # End-to-end: one shared cache across the frontier sweep of the same
     # problem, so leaves re-visited at another K are hits, never re-solves.
@@ -266,11 +290,123 @@ def bench_lp(family_name: str, clusters: int, frontier_sizes,
                             if batched_seconds else 0.0),
         "speedup_warm": (sequential_seconds / warm_seconds
                          if warm_seconds else 0.0),
+        "stacked_seconds": stacked_seconds,
         "optima_equal": optima_equal,
+        "stacked_optima_equal": stacked_optima_equal,
         "micro_cache": cache.stats.as_dict(),
         "verdicts_match": len(statuses) == 1,
         "shared_cache": shared.stats.as_dict(),
         "runs": runs,
+    }
+
+
+def _record_frontier_rounds(network, spec, max_nodes: int) -> List[Tuple]:
+    """The (children, parents) of every K=8 frontier round of one ABONN run."""
+    rounds: List[Tuple] = []
+    original = ApproximateVerifier.evaluate_batch
+
+    def recording(self, splits_list, method=None, parents=None):
+        if len(splits_list) > 1:
+            rounds.append((list(splits_list),
+                           list(parents) if parents is not None else None))
+        return original(self, splits_list, method=method, parents=parents)
+
+    ApproximateVerifier.evaluate_batch = recording
+    try:
+        AbonnVerifier(AbonnConfig(frontier_size=8)).verify(
+            network, spec, Budget(max_nodes=max_nodes))
+    finally:
+        ApproximateVerifier.evaluate_batch = original
+    return rounds
+
+
+def _replay_per_child_times(network, spec, rounds, incremental: bool) -> List[float]:
+    """Per-child bound time of each round against a fresh verifier."""
+    verifier = ApproximateVerifier(network, spec, incremental=incremental)
+    verifier.evaluate()  # bound the root, as the real run does
+    times = []
+    for splits_list, parents in rounds:
+        start = time.perf_counter()
+        verifier.evaluate_batch(splits_list,
+                                parents=parents if incremental else None)
+        times.append((time.perf_counter() - start) / len(splits_list))
+    return times
+
+
+def bench_incremental(family_name: str, frontier_sizes, max_nodes: int,
+                      repetitions: int) -> Dict:
+    """Equality + per-child speedup of the incremental bound path.
+
+    Verdicts, node charges and counterexamples must be identical with the
+    incremental path on and off at every frontier size; the speedup is the
+    ratio of median per-child bound times over the replayed ``K=8`` rounds
+    (mode-interleaved repetitions, min per round, so scheduler noise hits
+    both modes alike).
+    """
+    network, spec, epsilon = _branching_problem(family_name)
+
+    equality_rows = []
+    all_equal = True
+    for frontier_size in frontier_sizes:
+        results = {}
+        for incremental in (False, True):
+            config = AbonnConfig(frontier_size=frontier_size,
+                                 incremental=incremental)
+            results[incremental] = AbonnVerifier(config).verify(
+                network, spec, Budget(max_nodes=max_nodes))
+        baseline, observed = results[False], results[True]
+        cex_equal = ((baseline.counterexample is None)
+                     == (observed.counterexample is None)
+                     and (baseline.counterexample is None
+                          or np.array_equal(baseline.counterexample,
+                                            observed.counterexample)))
+        row_equal = (baseline.status == observed.status
+                     and baseline.nodes_explored == observed.nodes_explored
+                     and cex_equal)
+        all_equal = all_equal and row_equal
+        equality_rows.append({
+            "frontier_size": frontier_size,
+            "status": baseline.status.value,
+            "nodes_explored": baseline.nodes_explored,
+            "identical": row_equal,
+        })
+
+    rounds = _record_frontier_rounds(network, spec, max_nodes)
+    best: Dict[bool, List[float]] = {False: None, True: None}
+    for repetition in range(repetitions + 1):
+        for incremental in (False, True):
+            times = _replay_per_child_times(network, spec, rounds, incremental)
+            if repetition == 0:
+                continue  # warm-up pass: NumPy buffers, branch caches
+            if best[incremental] is None:
+                best[incremental] = times
+            else:
+                best[incremental] = [min(a, b) for a, b
+                                     in zip(best[incremental], times)]
+    median_baseline = median(best[False]) if rounds else 0.0
+    median_incremental = median(best[True]) if rounds else 0.0
+
+    # One instrumented replay for the reuse counters and phase breakdown.
+    verifier = ApproximateVerifier(network, spec, incremental=True)
+    verifier.evaluate()
+    for splits_list, parents in rounds:
+        verifier.evaluate_batch(splits_list, parents=parents)
+    stats = verifier.cache_stats()
+    return {
+        "network": family_name,
+        "epsilon": epsilon,
+        "rounds": len(rounds),
+        "children": sum(len(r[0]) for r in rounds),
+        "identical_runs": all_equal,
+        "equality_rows": equality_rows,
+        "median_per_child_us_baseline": median_baseline * 1e6,
+        "median_per_child_us_incremental": median_incremental * 1e6,
+        "speedup_incremental": (median_baseline / median_incremental
+                                if median_incremental else 0.0),
+        "delta_corrections": stats["delta_corrections"],
+        "candidate_hits": stats["candidate_hits"],
+        "candidate_misses": stats["candidate_misses"],
+        "timings": verifier.timings.as_dict(),
     }
 
 
@@ -337,6 +473,11 @@ def main(argv=None) -> int:
                         help="also benchmark batched + cached leaf-LP "
                              "resolution (micro workload and an end-to-end "
                              "frontier sweep sharing one LpCache)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="also measure the incremental (rank-1 "
+                             "parent-pass reuse) bound path: per-child "
+                             "speedup at K=8 plus verdict/charge equality "
+                             "at K in {1, 2, 8}")
     args = parser.parse_args(argv)
     smoke = _smoke_mode(args)
 
@@ -395,6 +536,8 @@ def main(argv=None) -> int:
             },
             "rows": frontier_rows,
         }
+        summary["min_mean_realised_batch_at_frontier_8"] = \
+            payload["frontier"]["summary"]["min_mean_realised_batch_at_frontier_8"]
 
     if args.lp:
         lp_families = SMOKE_FRONTIER_FAMILIES if smoke else FRONTIER_FAMILIES
@@ -409,17 +552,59 @@ def main(argv=None) -> int:
             "summary": {
                 # Acceptance: re-visited leaves are served from the cache
                 # (hit rate > 0), optima are bit-identical to the
-                # one-at-a-time path, and verdicts are independent of the
-                # frontier size and of cache hits.
+                # one-at-a-time path (and the stacked multi-objective row
+                # solve agrees with the per-row loop), and verdicts are
+                # independent of the frontier size and of cache hits.
                 "min_micro_hit_rate": min(row["micro_cache"]["hit_rate"]
                                           for row in lp_rows),
                 "optima_equal": all(row["optima_equal"] for row in lp_rows),
+                "stacked_optima_equal": all(row["stacked_optima_equal"]
+                                            for row in lp_rows),
                 "verdicts_match": all(row["verdicts_match"] for row in lp_rows),
                 "total_shared_hits": sum(row["shared_cache"]["hits"]
                                          for row in lp_rows),
+                "total_lp_solves": sum(row["shared_cache"]["solves"]
+                                       for row in lp_rows),
             },
             "rows": lp_rows,
         }
+        summary["lp_min_micro_hit_rate"] = payload["lp"]["summary"]["min_micro_hit_rate"]
+        summary["lp_total_solves"] = payload["lp"]["summary"]["total_lp_solves"]
+
+    if args.incremental:
+        inc_families = SMOKE_FRONTIER_FAMILIES if smoke else FRONTIER_FAMILIES
+        inc_sizes = (1, 2, 8)
+        inc_max_nodes = 96 if smoke else 512
+        inc_reps = 3 if smoke else 9
+        inc_rows = [bench_incremental(family_name, inc_sizes, inc_max_nodes,
+                                      inc_reps)
+                    for family_name in inc_families]
+        payload["incremental"] = {
+            "max_nodes": inc_max_nodes,
+            "summary": {
+                # Acceptance: verdicts, node charges and counterexamples
+                # identical with the incremental path on and off at K in
+                # {1, 2, 8}; >= 1.5x median per-child bound-time speedup at
+                # K=8 on the dense families (gated in full mode — smoke
+                # rounds are too short for stable medians).
+                "identical_runs": all(row["identical_runs"]
+                                      for row in inc_rows),
+                "min_speedup_incremental": min(row["speedup_incremental"]
+                                               for row in inc_rows),
+                "total_delta_corrections": sum(row["delta_corrections"]
+                                               for row in inc_rows),
+            },
+            "rows": inc_rows,
+        }
+        summary["incremental_identical_runs"] = \
+            payload["incremental"]["summary"]["identical_runs"]
+        summary["min_speedup_incremental"] = \
+            payload["incremental"]["summary"]["min_speedup_incremental"]
+        summary["median_per_child_us"] = {
+            row["network"]: {
+                "baseline": row["median_per_child_us_baseline"],
+                "incremental": row["median_per_child_us_incremental"],
+            } for row in inc_rows}
 
     text = json.dumps(payload, indent=2)
     print(text)

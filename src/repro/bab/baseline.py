@@ -45,6 +45,7 @@ from repro.verifiers.milp import (
     LEAF_FALSIFIED,
     LEAF_VERIFIED,
     classify_leaf_optimum,
+    problem_fingerprint,
     solve_leaf_lp_batch,
 )
 from repro.verifiers.result import (
@@ -69,7 +70,8 @@ class QueueFrontierSource(LinearWorkSource):
                  appver: ApproximateVerifier, heuristic: BranchingHeuristic,
                  spec: Specification, statistics: BaBStatistics, budget: Budget,
                  lp_cache: LpCache, lp_leaf_refinement: bool,
-                 root_bound: float) -> None:
+                 root_bound: float,
+                 lp_fingerprint: Optional[str] = None) -> None:
         super().__init__(root_bound)
         self.queue: Deque[BaBNode] = deque([root])
         self.exploration = exploration
@@ -79,6 +81,7 @@ class QueueFrontierSource(LinearWorkSource):
         self.statistics = statistics
         self.budget = budget
         self.lp_cache = lp_cache
+        self.lp_fingerprint = lp_fingerprint
         self.lp_leaf_refinement = lp_leaf_refinement
 
     # -- gathering -------------------------------------------------------------
@@ -119,6 +122,10 @@ class QueueFrontierSource(LinearWorkSource):
         return [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
                 for phase in phases]
 
+    def item_splits(self, node: BaBNode) -> SplitAssignment:
+        """The node's assignment — the parent identity of its children."""
+        return node.splits
+
     # -- batched exact leaf resolution -----------------------------------------
     def resolve_leaves(self, nodes: List[BaBNode]) -> Optional[DriverVerdict]:
         """Resolve decided leaves with one batched, cached leaf-LP call."""
@@ -128,7 +135,8 @@ class QueueFrontierSource(LinearWorkSource):
         optima = solve_leaf_lp_batch(
             self.appver.lowered, self.spec.input_box, self.spec.output_spec,
             [(node.splits, node.outcome.report) for node in nodes],
-            cache=self.lp_cache)
+            cache=self.lp_cache, fingerprint=self.lp_fingerprint,
+            timings=self.appver.timings)
         for optimum in optima:
             self.statistics.leaves_lp_resolved += 1
             verdict, counterexample = classify_leaf_optimum(optimum, self.spec,
@@ -177,7 +185,8 @@ class BaBBaselineVerifier(Verifier):
                  exploration: str = "bfs", lp_leaf_refinement: bool = True,
                  alpha_config: Optional[AlphaCrownConfig] = None,
                  frontier_size: int = 1,
-                 lp_cache: Optional[LpCache] = None) -> None:
+                 lp_cache: Optional[LpCache] = None,
+                 incremental: bool = True) -> None:
         require(exploration in ("bfs", "dfs"),
                 f"exploration must be 'bfs' or 'dfs', got {exploration!r}")
         require(frontier_size >= 1, "frontier_size must be positive")
@@ -188,6 +197,7 @@ class BaBBaselineVerifier(Verifier):
         self.alpha_config = alpha_config
         self.frontier_size = frontier_size
         self.lp_cache = lp_cache
+        self.incremental = incremental
         if exploration == "dfs":
             self.name = "BaB-dfs"
 
@@ -199,7 +209,8 @@ class BaBBaselineVerifier(Verifier):
         """Run breadth/depth-first BaB on the shared frontier engine."""
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, self.bound_method,
-                                     alpha_config=self.alpha_config)
+                                     alpha_config=self.alpha_config,
+                                     incremental=self.incremental)
         heuristic = self._make_heuristic()
         statistics = BaBStatistics()
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -216,9 +227,14 @@ class BaBBaselineVerifier(Verifier):
                                 bound=root_outcome.p_hat)
 
         root = BaBNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
+        # Fingerprint-scoping only matters for an externally shared cache.
+        lp_fingerprint = (problem_fingerprint(appver.lowered, spec.input_box,
+                                              spec.output_spec)
+                          if self.lp_cache is not None else None)
         source = QueueFrontierSource(root, self.exploration, appver, heuristic,
                                      spec, statistics, budget, lp_cache,
-                                     self.lp_leaf_refinement, root_outcome.p_hat)
+                                     self.lp_leaf_refinement, root_outcome.p_hat,
+                                     lp_fingerprint=lp_fingerprint)
         driver = FrontierDriver(appver, self.frontier_size)
         verdict = driver.run(source, budget)
         return self._finish(verdict.status, budget, appver, statistics, lp_cache,
@@ -234,8 +250,10 @@ class BaBBaselineVerifier(Verifier):
         statistics.tree_size = appver.num_calls
         extras = statistics.as_dict()
         extras["frontier_size"] = self.frontier_size
+        extras["incremental"] = self.incremental
         extras["bound_cache"] = appver.cache_stats()
         extras["lp_cache"] = lp_cache.stats.as_dict()
+        extras["timings"] = appver.timings.as_dict()
         return VerificationResult(
             status=status,
             verifier=self.name,

@@ -52,6 +52,7 @@ from repro.verifiers.milp import (
     LEAF_FALSIFIED,
     LEAF_VERIFIED,
     classify_leaf_optimum,
+    problem_fingerprint,
     solve_leaf_lp_batch,
 )
 from repro.verifiers.result import (
@@ -77,7 +78,8 @@ class HeapFrontierSource(LinearWorkSource):
     def __init__(self, root_entry: HeapEntry, appver: ApproximateVerifier,
                  heuristic: BranchingHeuristic, spec: Specification,
                  budget: Budget, lp_cache: LpCache, lp_leaf_refinement: bool,
-                 root_bound: float) -> None:
+                 root_bound: float,
+                 lp_fingerprint: Optional[str] = None) -> None:
         super().__init__(root_bound)
         self.heap: List[HeapEntry] = [root_entry]
         self.appver = appver
@@ -85,6 +87,7 @@ class HeapFrontierSource(LinearWorkSource):
         self.spec = spec
         self.budget = budget
         self.lp_cache = lp_cache
+        self.lp_fingerprint = lp_fingerprint
         self.lp_leaf_refinement = lp_leaf_refinement
         self.counter = itertools.count(1)
         self.lp_leaves = 0
@@ -116,6 +119,10 @@ class HeapFrontierSource(LinearWorkSource):
         return [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
                 for phase in phases]
 
+    def item_splits(self, entry: HeapEntry) -> SplitAssignment:
+        """The entry's assignment — the parent identity of its children."""
+        return entry[2]
+
     # -- batched exact leaf resolution -----------------------------------------
     def resolve_leaves(self, entries: List[HeapEntry]) -> Optional[DriverVerdict]:
         """Resolve decided leaves with one batched, cached leaf-LP call."""
@@ -125,7 +132,8 @@ class HeapFrontierSource(LinearWorkSource):
         optima = solve_leaf_lp_batch(
             self.appver.lowered, self.spec.input_box, self.spec.output_spec,
             [(entry[2], entry[3].report) for entry in entries],
-            cache=self.lp_cache)
+            cache=self.lp_cache, fingerprint=self.lp_fingerprint,
+            timings=self.appver.timings)
         for optimum in optima:
             self.lp_leaves += 1
             verdict, counterexample = classify_leaf_optimum(optimum, self.spec,
@@ -166,7 +174,8 @@ class AlphaBetaCrownVerifier(Verifier):
                  alpha_config: Optional[AlphaCrownConfig] = None,
                  lp_leaf_refinement: bool = True,
                  frontier_size: int = 1,
-                 lp_cache: Optional[LpCache] = None) -> None:
+                 lp_cache: Optional[LpCache] = None,
+                 incremental: bool = True) -> None:
         require(frontier_size >= 1, "frontier_size must be positive")
         self.heuristic_name = heuristic
         self.attack_config = attack_config or AttackConfig(steps=25, restarts=3)
@@ -174,6 +183,7 @@ class AlphaBetaCrownVerifier(Verifier):
         self.lp_leaf_refinement = lp_leaf_refinement
         self.frontier_size = frontier_size
         self.lp_cache = lp_cache
+        self.incremental = incremental
 
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
@@ -207,24 +217,32 @@ class AlphaBetaCrownVerifier(Verifier):
         # Stage 3: best-first BaB ordered by the bound (most violated first)
         # on the shared frontier engine, using the cheaper DeepPoly back-end
         # for sub-problems.
-        sub_appver = ApproximateVerifier(network, spec, "deeppoly")
+        sub_appver = ApproximateVerifier(network, spec, "deeppoly",
+                                         incremental=self.incremental)
         root_entry: HeapEntry = (root_outcome.p_hat, 0,
                                  SplitAssignment.empty(), root_outcome)
+        # Fingerprint-scoping only matters for an externally shared cache.
+        lp_fingerprint = (problem_fingerprint(sub_appver.lowered, spec.input_box,
+                                              spec.output_spec)
+                          if self.lp_cache is not None else None)
         source = HeapFrontierSource(root_entry, sub_appver, heuristic, spec,
                                     budget, lp_cache, self.lp_leaf_refinement,
-                                    root_outcome.p_hat)
+                                    root_outcome.p_hat,
+                                    lp_fingerprint=lp_fingerprint)
         driver = FrontierDriver(sub_appver, self.frontier_size)
         verdict = driver.run(source, budget)
         return self._finish(verdict.status, budget, budget.nodes, lp_cache,
                             counterexample=verdict.counterexample,
-                            bound=verdict.bound, lp_leaves=source.lp_leaves)
+                            bound=verdict.bound, lp_leaves=source.lp_leaves,
+                            appver=sub_appver)
 
     # -- helpers ---------------------------------------------------------------
     def _finish(self, status: VerificationStatus, budget: Budget, nodes: int,
                 lp_cache: LpCache,
                 counterexample: Optional[np.ndarray] = None,
                 bound: Optional[float] = None,
-                lp_leaves: int = 0) -> VerificationResult:
+                lp_leaves: int = 0,
+                appver: Optional[ApproximateVerifier] = None) -> VerificationResult:
         return VerificationResult(
             status=status,
             verifier=self.name,
@@ -236,6 +254,9 @@ class AlphaBetaCrownVerifier(Verifier):
             extras={"heuristic": self.heuristic_name,
                     "alpha_iterations": self.alpha_config.iterations,
                     "frontier_size": self.frontier_size,
+                    "incremental": self.incremental,
                     "lp_leaves_resolved": lp_leaves,
-                    "lp_cache": lp_cache.stats.as_dict()},
+                    "lp_cache": lp_cache.stats.as_dict(),
+                    "timings": (appver.timings.as_dict() if appver is not None
+                                else {})},
         )

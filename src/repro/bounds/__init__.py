@@ -9,6 +9,7 @@ from repro.bounds.cache import (
     LayerEntry,
     LpCache,
     LpCacheStats,
+    SubstitutionEntry,
 )
 from repro.bounds.deeppoly import (
     DeepPolyAnalyzer,
@@ -18,6 +19,8 @@ from repro.bounds.deeppoly import (
 )
 from repro.bounds.interval import interval_bounds, interval_bounds_batch
 from repro.bounds.linear_form import (
+    AffineForms,
+    BatchedAffineForms,
     BatchedLinearForm,
     LinearForm,
     ScalarBounds,
@@ -35,6 +38,7 @@ from repro.bounds.splits import (
     ReluSplit,
     SplitAssignment,
     clip_bounds_with_phases,
+    split_delta,
     stacked_phase_array,
 )
 
@@ -44,7 +48,11 @@ __all__ = [
     "LpCache",
     "LpCacheStats",
     "clip_bounds_with_phases",
+    "split_delta",
     "stacked_phase_array",
+    "SubstitutionEntry",
+    "AffineForms",
+    "BatchedAffineForms",
     "AlphaCrownAnalyzer",
     "AlphaCrownConfig",
     "alpha_crown_bounds",

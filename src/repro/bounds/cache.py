@@ -12,13 +12,26 @@ the decided neuron.
 :class:`BoundCache` exploits this with two kinds of entries, both behind one
 bounded LRU store:
 
-* **layer entries**, keyed by ``(layer, SplitAssignment.prefix_key(layer))``
-  — the post-clip pre-activation bounds, the ReLU relaxation derived from
-  them, and whether clipping made that layer inconsistent;
+* **substitution entries** (:class:`SubstitutionEntry`), keyed by
+  ``(layer, SplitAssignment.prefix_key(layer))`` — the post-clip
+  pre-activation bounds, the ReLU relaxation derived from them, whether
+  clipping made that layer inconsistent, *and* the accumulated input-level
+  linear forms of the backward pass that produced the bounds.  The bounds
+  and relaxation serve plain prefix reuse; the whole entry additionally
+  backs the incremental path: a child that extends the entry's assignment
+  by one neuron *at this layer* derives its own entry with a rank-1
+  correction (clip the decided neuron's bounds, swap its relaxation row to
+  the exact identity/zero form) instead of re-substituting, and inherits
+  the parent's forms verbatim — they do not depend on the clip.
 * **report entries**, keyed by the full ``SplitAssignment.canonical_key()``
   — the complete :class:`~repro.bounds.report.BoundReport` of a finished
   analysis, so re-evaluating an identical sub-problem (e.g. an FSB probe
   followed by the actual expansion) is free.
+
+Entries are immutable facts about one ``(network, input box)`` pair, so the
+only invalidation rule is LRU eviction: an evicted parent entry simply makes
+its children fall back to the full backward substitution (which recreates
+the entry), never changes a result.
 
 A cache instance is only valid for one fixed ``(network, input box, output
 spec)`` triple and for the default (heuristic) relaxation slopes; analyses
@@ -57,8 +70,19 @@ DEFAULT_LP_CACHE_SIZE = 2048
 
 
 @dataclass(frozen=True)
-class LayerEntry:
-    """Memoised per-layer analysis state (arrays are never mutated)."""
+class SubstitutionEntry:
+    """Memoised per-layer analysis state (arrays are never mutated).
+
+    ``lower``/``upper`` are the layer's post-clip pre-activation bounds,
+    the three relaxation arrays the ReLU relaxation derived from them, and
+    ``infeasible`` whether split clipping emptied the layer.  ``forms``
+    optionally carries the accumulated input-level linear forms of the
+    backward pass that produced the bounds (``None`` for entries created
+    before forms were captured); the rank-1 split correction shares the
+    parent's ``forms`` object with the child entry because the forms only
+    depend on the relaxations *below* the layer, which parent and child
+    agree on.
+    """
 
     lower: np.ndarray
     upper: np.ndarray
@@ -66,17 +90,29 @@ class LayerEntry:
     upper_slope: np.ndarray
     upper_intercept: np.ndarray
     infeasible: bool
+    forms: Optional[object] = None
+
+
+#: Backwards-compatible name for :class:`SubstitutionEntry` (pre-incremental
+#: callers constructed entries without forms; the field defaults to None).
+LayerEntry = SubstitutionEntry
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by entry kind."""
+    """Hit/miss counters, split by entry kind.
+
+    ``delta_corrections`` counts the phase-split children whose layer entry
+    was derived from the parent's entry with a rank-1 correction instead of
+    a full backward substitution — the incremental path's reuse counter.
+    """
 
     layer_hits: int = 0
     layer_misses: int = 0
     report_hits: int = 0
     report_misses: int = 0
     evictions: int = 0
+    delta_corrections: int = 0
 
     @property
     def hits(self) -> int:
@@ -93,6 +129,7 @@ class CacheStats:
             "report_hits": self.report_hits,
             "report_misses": self.report_misses,
             "evictions": self.evictions,
+            "delta_corrections": self.delta_corrections,
         }
 
 
@@ -120,8 +157,8 @@ class BoundCache:
             self._store.popitem(last=False)
             self.stats.evictions += 1
 
-    # -- layer entries --------------------------------------------------------
-    def get_layer(self, layer: int, prefix_key: Tuple) -> Optional[LayerEntry]:
+    # -- substitution (per-layer) entries -------------------------------------
+    def get_layer(self, layer: int, prefix_key: Tuple) -> Optional[SubstitutionEntry]:
         entry = self._get(("layer", layer, prefix_key))
         if entry is None:
             self.stats.layer_misses += 1
@@ -129,8 +166,18 @@ class BoundCache:
             self.stats.layer_hits += 1
         return entry
 
-    def put_layer(self, layer: int, prefix_key: Tuple, entry: LayerEntry) -> None:
+    def put_layer(self, layer: int, prefix_key: Tuple,
+                  entry: SubstitutionEntry) -> None:
         self._put(("layer", layer, prefix_key), entry)
+
+    def peek_layer(self, layer: int, prefix_key: Tuple) -> Optional[SubstitutionEntry]:
+        """Like :meth:`get_layer` but without touching the hit/miss counters.
+
+        The incremental path probes for the *parent's* entry before deciding
+        whether a rank-1 correction applies; a failed probe is not a cache
+        miss of the sub-problem being analysed.
+        """
+        return self._get(("layer", layer, prefix_key))
 
     # -- report entries -------------------------------------------------------
     def get_report(self, canonical_key: Tuple, with_spec: bool):

@@ -44,6 +44,22 @@ class BoundReport:
     infeasible: bool = False
     method: str = "unknown"
 
+    def shallow_copy(self) -> "BoundReport":
+        """A copy sharing every array but owning its own list and shell.
+
+        Lives next to the field list so a new field cannot be forgotten
+        (``dataclasses.replace`` would copy it automatically but costs
+        several microseconds per call on the cache hot path).
+        """
+        return BoundReport(
+            pre_activation_bounds=list(self.pre_activation_bounds),
+            output_bounds=self.output_bounds,
+            spec_row_lower=self.spec_row_lower,
+            p_hat=self.p_hat,
+            candidate_input=self.candidate_input,
+            infeasible=self.infeasible,
+            method=self.method)
+
     def unstable_neurons(self, splits: Optional[SplitAssignment] = None,
                          tolerance: float = 0.0) -> List[Tuple[int, int]]:
         """Neurons whose phase is still ambiguous in this sub-problem.

@@ -53,6 +53,7 @@ from repro.verifiers.milp import (
     LEAF_FALSIFIED,
     LEAF_VERIFIED,
     classify_leaf_optimum,
+    problem_fingerprint,
     solve_leaf_lp_batch,
 )
 from repro.verifiers.result import (
@@ -90,7 +91,8 @@ class MctsFrontierSource(WorkSource):
     def __init__(self, root: MctsNode, appver: ApproximateVerifier,
                  heuristic: BranchingHeuristic, scorer: PotentialityScorer,
                  spec: Specification, config: AbonnConfig, budget: Budget,
-                 lp_cache: LpCache) -> None:
+                 lp_cache: LpCache,
+                 lp_fingerprint: Optional[str] = None) -> None:
         self.root = root
         self.appver = appver
         self.heuristic = heuristic
@@ -99,6 +101,7 @@ class MctsFrontierSource(WorkSource):
         self.config = config
         self.budget = budget
         self.lp_cache = lp_cache
+        self.lp_fingerprint = lp_fingerprint
         self.has_unknown_leaf = False
         self.max_depth = 0
         self.lp_leaves = 0
@@ -158,6 +161,10 @@ class MctsFrontierSource(WorkSource):
         return [leaf.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))
                 for phase in phases]
 
+    def item_splits(self, leaf: MctsNode) -> SplitAssignment:
+        """The leaf's assignment — the parent identity of its children."""
+        return leaf.splits
+
     def push_back(self, leaf: MctsNode, gathered: int) -> Optional[DriverVerdict]:
         """Budget starvation: nothing to do, the leaf stays in the tree."""
         # The leaf was never removed from the tree: it stays selectable, and
@@ -176,7 +183,8 @@ class MctsFrontierSource(WorkSource):
         optima = solve_leaf_lp_batch(
             self.appver.lowered, self.spec.input_box, self.spec.output_spec,
             [(leaf.splits, leaf.outcome.report) for leaf in leaves],
-            cache=self.lp_cache)
+            cache=self.lp_cache, fingerprint=self.lp_fingerprint,
+            timings=self.appver.timings)
         for leaf, optimum in zip(leaves, optima):
             self.lp_leaves += 1
             self._apply_leaf_optimum(leaf, optimum)
@@ -272,7 +280,8 @@ class AbonnVerifier(Verifier):
         appver = ApproximateVerifier(network, spec, config.bound_method,
                                      alpha_config=config.alpha_config,
                                      use_cache=config.use_bound_cache,
-                                     cache_size=config.bound_cache_size)
+                                     cache_size=config.bound_cache_size,
+                                     incremental=config.incremental)
         heuristic = make_heuristic(config.heuristic)
         scorer = PotentialityScorer(max(appver.num_relu_neurons, 1), config.lam)
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -296,8 +305,15 @@ class AbonnVerifier(Verifier):
         # round expands up to ``frontier_size`` leaves through one batched
         # AppVer call and resolves the round's decided leaves through one
         # batched, cached leaf-LP call.
+        # Fingerprint-scoping only matters for an externally shared cache —
+        # a fresh per-run cache never sees another problem's keys, so the
+        # weight digest is skipped for it.
+        lp_fingerprint = (problem_fingerprint(appver.lowered, spec.input_box,
+                                              spec.output_spec)
+                          if self.lp_cache is not None else None)
         source = MctsFrontierSource(root, appver, heuristic, scorer, spec,
-                                    config, budget, lp_cache)
+                                    config, budget, lp_cache,
+                                    lp_fingerprint=lp_fingerprint)
         driver = FrontierDriver(appver, config.frontier_size)
         verdict = driver.run(source, budget)
         return self._finish(verdict.status, appver, budget, lp_cache,
@@ -330,8 +346,10 @@ class AbonnVerifier(Verifier):
                 "exploration": self.config.exploration,
                 "heuristic": self.config.heuristic,
                 "frontier_size": self.config.frontier_size,
+                "incremental": self.config.incremental,
                 "lp_leaves_resolved": lp_leaves,
                 "bound_cache": appver.cache_stats(),
                 "lp_cache": lp_cache.stats.as_dict(),
+                "timings": appver.timings.as_dict(),
             },
         )

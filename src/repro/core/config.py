@@ -62,6 +62,17 @@ class AbonnConfig:
         a hit returns exactly what recomputation would.
     bound_cache_size:
         Maximum number of bound-cache entries (LRU eviction beyond that).
+    incremental:
+        Thread parent identity into the batched bound calls so phase-split
+        children resolve as rank-1 deltas against their parent's memoised
+        backward pass (and candidate validation / α-CROWN warm starts reuse
+        the parent too).  With the default DeepPoly back-end, results —
+        verdicts, node charges, counterexamples — are identical with the
+        flag on or off; off reproduces the PR-3 bound path exactly (the
+        benchmark baseline).  With ``bound_method="alpha-crown"`` the warm
+        start moves where the SPSA ascent *begins*, so the optimised (still
+        sound) bounds — and hence trajectories — may differ between the
+        modes.
     """
 
     lam: float = DEFAULT_LAMBDA
@@ -74,6 +85,7 @@ class AbonnConfig:
     alpha_config: Optional[AlphaCrownConfig] = None
     use_bound_cache: bool = True
     bound_cache_size: int = DEFAULT_CACHE_SIZE
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         require(0.0 <= self.lam <= 1.0, "lam must be in [0, 1]")

@@ -28,7 +28,11 @@ One driver **round** is:
    ``evaluate_batch`` call on the driver's
    :class:`~repro.verifiers.appver.ApproximateVerifier`; this is the only
    place in the library where a search driver reaches the batched bound
-   back-ends, so realised batch sizes are accounted exactly once.
+   back-ends, so realised batch sizes are accounted exactly once.  Each
+   child is dispatched together with its *parent identity* (the gathered
+   item's own split assignment, via :meth:`WorkSource.item_splits`), which
+   lets the incremental bound path resolve the ≤2K children of a round as
+   rank-1 deltas against at most K memoised parent passes.
 4. **Attach** — outcomes are handed back to the source one child at a time
    in selection order, each preceded by the sequential wall-clock re-check
    and followed by one node charge, so a frontier of ``K`` behaves at
@@ -142,6 +146,15 @@ class WorkSource(abc.ABC):
     @abc.abstractmethod
     def select_neuron(self, item) -> Optional[Neuron]:
         """Pick the item's branching neuron, or ``None`` for a decided leaf."""
+
+    def item_splits(self, item) -> Optional[SplitAssignment]:
+        """The item's own split assignment (the parent of its children).
+
+        The driver threads it through ``evaluate_batch(parents=...)`` so the
+        incremental bound path can reuse the parent's memoised pass; return
+        ``None`` (the default) to opt a source out of parent threading.
+        """
+        return None
 
     @abc.abstractmethod
     def child_splits(self, item, neuron: Neuron,
@@ -358,10 +371,14 @@ class FrontierDriver:
             return None
 
         # One batched AppVer call bounds the children of the whole round;
-        # this is the engine's single point of batched-bound dispatch.
+        # this is the engine's single point of batched-bound dispatch.  The
+        # children carry their parents' identities so the ≤2K sub-problems
+        # resolve as rank-1 deltas against at most K memoised parent passes.
         flat_splits = [splits for expansion in plan
                        for splits in expansion.child_splits]
-        outcomes = self.appver.evaluate_batch(flat_splits)
+        flat_parents = [source.item_splits(expansion.item) for expansion in plan
+                        for _ in expansion.child_splits]
+        outcomes = self.appver.evaluate_batch(flat_splits, parents=flat_parents)
 
         verdict = self._attach(source, plan, outcomes, budget)
         if verdict is not None:

@@ -1,7 +1,11 @@
 """Specification substrate: input boxes, linear output properties, VNN-LIB I/O."""
 
 from repro.specs.properties import InputBox, LinearOutputSpec, Specification
-from repro.specs.robustness import local_robustness_spec, robustness_output_spec
+from repro.specs.robustness import (
+    local_robustness_spec,
+    robustness_output_spec,
+    robustness_radius_sweep,
+)
 from repro.specs.vnnlib import (
     ParsedVnnLib,
     VnnLibError,
@@ -17,6 +21,7 @@ __all__ = [
     "Specification",
     "local_robustness_spec",
     "robustness_output_spec",
+    "robustness_radius_sweep",
     "ParsedVnnLib",
     "VnnLibError",
     "load_vnnlib",

@@ -170,3 +170,20 @@ class Specification:
         if not self.input_box.contains(point, tolerance=tolerance):
             return False
         return self.margin(network, point) < 0.0
+
+    def is_counterexample_batch(self, network, points: np.ndarray,
+                                tolerance: float = 1e-9) -> np.ndarray:
+        """Vectorised :meth:`is_counterexample` over ``(B, dim)`` points.
+
+        One stacked network forward pass validates the whole batch; the
+        containment tolerance and margin formula are the same as the
+        scalar predicate (batched GEMMs may differ from single-row
+        forwards in the last ulp, which can only matter for margins
+        exactly at zero).
+        """
+        points = np.asarray(points, dtype=float).reshape(-1, self.input_dim)
+        inside = np.all((points >= self.input_box.lower - tolerance)
+                        & (points <= self.input_box.upper + tolerance), axis=1)
+        outputs = np.asarray(network.forward(points))
+        values = outputs @ self.output_spec.coefficients.T + self.output_spec.offsets
+        return inside & (values.min(axis=1) < 0.0)

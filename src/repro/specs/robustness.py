@@ -1,18 +1,28 @@
-"""Local-robustness specification builders.
+"""Local-robustness specification builders and radius sweeps.
 
 The paper's 552 benchmark problems are all L∞ local-robustness properties:
 for a reference input ``x0`` with label ``t``, every input within an L∞
 ball of radius ``ε`` must be classified as ``t``.  In the linear form of
 :class:`repro.specs.properties.LinearOutputSpec` this is the conjunction of
 ``y_t - y_j >= 0`` for every other class ``j``.
+
+:func:`robustness_radius_sweep` verifies the same reference at a ladder of
+radii while threading **one shared** :class:`~repro.bounds.cache.LpCache`
+through every run: the verifiers scope their cache keys by the problem
+fingerprint (network ⊕ box ⊕ spec), so a re-visited problem reuses its leaf
+solves and nearby radii — whose boxes, and hence optima, differ — can never
+collide.  This is the pattern robustness-radius searches (bisection over
+ε, certified-accuracy curves) hit constantly: they re-verify the same
+network at many nearby epsilons.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bounds.cache import LpCache
 from repro.specs.properties import InputBox, LinearOutputSpec, Specification
 from repro.utils.validation import require
 
@@ -60,3 +70,40 @@ def local_robustness_spec(reference: np.ndarray, epsilon: float, label: int,
         "reference": reference.copy(),
     }
     return Specification(input_box, output_spec, name=name, metadata=metadata)
+
+
+def robustness_radius_sweep(make_verifier: Callable[[LpCache], object],
+                            network, reference: np.ndarray,
+                            epsilons: Sequence[float], label: int,
+                            num_classes: int,
+                            budget=None,
+                            shared_lp_cache: Optional[LpCache] = None,
+                            target: Optional[int] = None,
+                            domain_lower: float = 0.0,
+                            domain_upper: float = 1.0
+                            ) -> Tuple[List[Tuple[float, object]], LpCache]:
+    """Verify one reference at several radii with a shared leaf-LP cache.
+
+    ``make_verifier`` builds a fresh verifier from the shared
+    :class:`~repro.bounds.cache.LpCache` (e.g. ``lambda cache:
+    AbonnVerifier(lp_cache=cache)``); one verifier instance runs per
+    epsilon so per-run state never leaks between radii, while the cache —
+    keyed by ``(problem fingerprint, canonical splits)`` — persists across
+    the sweep.  ``budget`` (a :class:`~repro.utils.timing.Budget`) is
+    copied per run so every radius gets the full allowance.  Returns the
+    per-epsilon ``(epsilon, VerificationResult)`` pairs in input order plus
+    the cache, whose ``stats`` show the cross-run reuse.
+    """
+    require(len(epsilons) > 0, "epsilons must be non-empty")
+    cache = shared_lp_cache if shared_lp_cache is not None else LpCache()
+    results: List[Tuple[float, object]] = []
+    for epsilon in epsilons:
+        spec = local_robustness_spec(reference, float(epsilon), label,
+                                     num_classes, target=target,
+                                     domain_lower=domain_lower,
+                                     domain_upper=domain_upper)
+        verifier = make_verifier(cache)
+        run_budget = budget.copy() if budget is not None else None
+        results.append((float(epsilon),
+                        verifier.verify(network, spec, run_budget)))
+    return results, cache

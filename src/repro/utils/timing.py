@@ -1,16 +1,22 @@
-"""Timing primitives: stopwatch and combined wall-clock / node budgets.
+"""Timing primitives: stopwatch, phase timings, and combined budgets.
 
 The paper terminates each verification run after a 1000 s wall-clock budget.
 In this reproduction we support both wall-clock budgets and *node* budgets
 (the number of AppVer calls), because node budgets make benchmark results
 machine-independent and keep the benchmark harness fast.
+
+:class:`PhaseTimings` additionally gives the bound/LP hot path a cheap
+per-phase breakdown (``substitute``, ``correct``, ``concretize``, ``lp``)
+that the verifiers surface in ``extras["timings"]`` — so perf work can see
+*where* per-child bound time goes instead of only its total.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Iterator, Optional
 
 
 class Stopwatch:
@@ -48,6 +54,53 @@ class Stopwatch:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+class PhaseTimings:
+    """Cumulative wall-clock seconds (and call counts) per named phase.
+
+    The bound analysers record their backward-substitution time under
+    ``"substitute"``, the incremental rank-1 split corrections under
+    ``"correct"`` and the box concretisations under ``"concretize"``; the
+    leaf-LP solver records under ``"lp"``.  One instance lives on each
+    :class:`~repro.verifiers.appver.ApproximateVerifier` and is exposed by
+    the verifiers as ``extras["timings"]``.  Recording costs two
+    ``perf_counter`` calls per measured block, so it is safe to leave on in
+    the hot path.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def record(self, phase: str, seconds: float, count: int = 1) -> None:
+        """Add ``seconds`` (and ``count`` occurrences) to a phase."""
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + float(seconds)
+        self._counts[phase] = self._counts.get(phase, 0) + int(count)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager timing one block into ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(phase, time.perf_counter() - start)
+
+    def seconds(self, phase: str) -> float:
+        """Total seconds recorded for a phase (0.0 when never recorded)."""
+        return self._seconds.get(phase, 0.0)
+
+    def as_dict(self) -> dict:
+        """``{phase: {"seconds": ..., "count": ...}}`` for every phase."""
+        return {phase: {"seconds": self._seconds[phase],
+                        "count": self._counts.get(phase, 0)}
+                for phase in sorted(self._seconds)}
+
+    def clear(self) -> None:
+        """Drop all recorded phases."""
+        self._seconds.clear()
+        self._counts.clear()
 
 
 @dataclass

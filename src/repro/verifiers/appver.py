@@ -12,7 +12,7 @@ This module wraps the bound-propagation analysers of :mod:`repro.bounds`
 behind that interface and counts calls, which is how all verifiers charge
 their node budgets.
 
-Two throughput features back the hot path (see ``docs/BATCHING.md``):
+Three throughput features back the hot path (see ``docs/BATCHING.md``):
 
 * :meth:`ApproximateVerifier.evaluate_batch` bounds ``B`` sub-problems in
   one batched pass for every back-end — DeepPoly and IBP via a leading
@@ -24,12 +24,30 @@ Two throughput features back the hot path (see ``docs/BATCHING.md``):
   memoises per-layer pre-activation bounds keyed by the split-assignment
   prefix relevant to each layer, plus whole reports keyed by the full
   canonical assignment, so a child sub-problem only recomputes layers
-  at-or-below its newly decided neuron.
+  at-or-below its newly decided neuron;
+* **incremental parent-pass reuse** (``incremental=True``, the default):
+  when the caller threads each child's BaB parent through ``parent=`` /
+  ``parents=``, the DeepPoly back-end derives the child's split layer from
+  the parent's memoised substitution entry with a rank-1 correction
+  (skipping that layer's whole backward substitution), the α-CROWN back-end
+  warm-starts its slope ascent from the parent's optimised slopes, and
+  candidate-counterexample validation memoises the network forward pass per
+  distinct candidate corner (phase-split children overwhelmingly share
+  their parent's corner).  The DeepPoly reuse is exact — results are
+  identical to the non-incremental path (sequential mode bit-for-bit;
+  batched mode up to the same sub-1e-9 GEMM noise that already separates
+  batched from sequential evaluation).  The α-CROWN warm start is sound
+  but moves the SPSA ascent's starting point, so optimised bounds may
+  differ from the cold-start path.
+
+The per-phase time breakdown (``substitute`` / ``correct`` / ``concretize``
+and the sources' ``lp``) accumulates in :attr:`ApproximateVerifier.timings`
+and is surfaced by the verifiers as ``extras["timings"]``.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -43,8 +61,11 @@ from repro.bounds.report import BoundReport
 from repro.bounds.splits import ACTIVE, INACTIVE, SplitAssignment
 from repro.nn.network import Network
 from repro.specs.properties import Specification
-from repro.utils.timing import Budget
+from repro.utils.timing import Budget, PhaseTimings
 from repro.utils.validation import require
+
+#: Capacity of the candidate-validation memo (distinct candidate corners).
+DEFAULT_CANDIDATE_CACHE_SIZE = 2048
 
 #: Supported bound-propagation back-ends.
 BOUND_METHODS = ("deeppoly", "alpha-crown", "ibp")
@@ -121,11 +142,20 @@ class ApproximateVerifier:
         analyser would recompute for the same (sub-)problem.
     cache_size:
         Maximum number of cache entries (LRU eviction beyond that).
+    incremental:
+        Honour parent identity threaded through ``parent=`` / ``parents=``:
+        rank-1 split corrections against the parent's substitution entry
+        (DeepPoly), parent-slope warm starts (α-CROWN) and the
+        candidate-validation memo.  Off, parent arguments are ignored and
+        every evaluation runs the full PR-3 path — DeepPoly results are
+        identical either way; α-CROWN warm starts change where the slope
+        ascent begins (sound, possibly different optimised bounds).
     """
 
     def __init__(self, network: Network, spec: Specification, method: str = "deeppoly",
                  alpha_config: Optional[AlphaCrownConfig] = None,
-                 use_cache: bool = True, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+                 use_cache: bool = True, cache_size: int = DEFAULT_CACHE_SIZE,
+                 incremental: bool = True) -> None:
         require(method in BOUND_METHODS,
                 f"unknown bound method {method!r}; choose one of {BOUND_METHODS}")
         self.network = network
@@ -140,45 +170,129 @@ class ApproximateVerifier:
         self._alpha = AlphaCrownAnalyzer(self.lowered, alpha_config)
         self.cache: Optional[BoundCache] = (BoundCache(cache_size) if use_cache
                                             else None)
+        self.incremental = bool(incremental)
         self.num_calls = 0
         #: Realised ``evaluate_batch`` sizes: ``{batch_size: call_count}``.
         self.batch_histogram: Counter = Counter()
+        #: Per-phase wall-clock breakdown of the bound/LP hot path.
+        self.timings = PhaseTimings()
+        self._candidate_cache: "OrderedDict[bytes, bool]" = OrderedDict()
+        self._fresh_keys: set = set()
+        self.candidate_hits = 0
+        self.candidate_misses = 0
 
     @property
     def num_relu_neurons(self) -> int:
         """The constant ``K`` of Def. 1."""
         return self.lowered.num_relu_neurons
 
+    def _validate_candidate(self, candidate: np.ndarray) -> bool:
+        """Whether a candidate is a real counterexample, memoised per corner.
+
+        Candidates are box corners determined by coefficient signs, so the
+        phase-split children of one frontier round overwhelmingly share
+        their parent's corner; validating a corner costs a full network
+        forward pass, and the validation is a pure function of the input
+        bytes, so memoising it is exact.  Only consulted in incremental
+        mode so the non-incremental path stays byte-for-byte PR-3.
+        """
+        if not self.incremental:
+            return self.spec.is_counterexample(self.network, candidate)
+        key = candidate.tobytes()
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            self._candidate_cache.move_to_end(key)
+            if key in self._fresh_keys:
+                # First lookup after prevalidation: the miss was already
+                # counted there; only later lookups are genuine reuse.
+                self._fresh_keys.discard(key)
+            else:
+                self.candidate_hits += 1
+            return cached
+        self.candidate_misses += 1
+        valid = self.spec.is_counterexample(self.network, candidate)
+        self._remember_candidate(key, valid)
+        return valid
+
+    def _remember_candidate(self, key: bytes, valid: bool) -> None:
+        self._candidate_cache[key] = valid
+        while len(self._candidate_cache) > DEFAULT_CANDIDATE_CACHE_SIZE:
+            self._candidate_cache.popitem(last=False)
+
+    def _prevalidate_candidates(self, reports: Sequence[BoundReport]) -> None:
+        """Validate a round's distinct unseen candidates in one forward pass.
+
+        Each validation is a full network forward; a frontier round yields
+        up to ``2K`` candidates of which only a handful of corners are
+        distinct and unseen, so one stacked
+        :meth:`~repro.specs.properties.Specification.is_counterexample_batch`
+        call replaces one pass per candidate.  Incremental mode only — the
+        non-incremental path keeps the sequential PR-3 behaviour.  Each
+        fresh corner is counted as one miss here and its first follow-up
+        lookup is *not* counted as a hit (``_fresh_keys``), so the hit
+        counter reports genuine reuse only.
+        """
+        fresh = {}
+        for report in reports:
+            candidate = report.candidate_input
+            if (candidate is None or report.p_hat is None
+                    or not report.p_hat < 0.0):
+                continue
+            key = candidate.tobytes()
+            if key not in self._candidate_cache and key not in fresh:
+                fresh[key] = candidate
+        if not fresh:
+            return
+        points = np.stack([np.asarray(c, dtype=float).reshape(-1)
+                           for c in fresh.values()])
+        valid = self.spec.is_counterexample_batch(self.network, points)
+        for position, key in enumerate(fresh):
+            self.candidate_misses += 1
+            self._fresh_keys.add(key)
+            self._remember_candidate(key, bool(valid[position]))
+
     def _outcome_from_report(self, report: BoundReport) -> AppVerOutcome:
         candidate = report.candidate_input
         valid = False
         if candidate is not None and report.p_hat is not None and report.p_hat < 0.0:
-            valid = self.spec.is_counterexample(self.network, candidate)
+            valid = self._validate_candidate(candidate)
         p_hat = float(report.p_hat) if report.p_hat is not None else float("-inf")
         return AppVerOutcome(p_hat=p_hat, candidate=candidate,
                              is_valid_counterexample=valid, report=report)
 
     def evaluate(self, splits: Optional[SplitAssignment] = None,
-                 method: Optional[str] = None) -> AppVerOutcome:
-        """Apply the approximated verifier to the sub-problem ``splits``."""
+                 method: Optional[str] = None,
+                 parent: Optional[SplitAssignment] = None) -> AppVerOutcome:
+        """Apply the approximated verifier to the sub-problem ``splits``.
+
+        ``parent`` optionally names the sub-problem's BaB parent; with the
+        incremental mode on, a one-split child reuses the parent's memoised
+        pass (see the module docstring) — results are unchanged.
+        """
         splits = splits or SplitAssignment.empty()
         method = method or self.method
         require(method in BOUND_METHODS, f"unknown bound method {method!r}")
         self.num_calls += 1
+        if not self.incremental:
+            parent = None
         if method == "ibp":
             report = interval_bounds(self.lowered, self.spec.input_box,
                                      splits=splits, spec=self.spec.output_spec)
         elif method == "alpha-crown":
             report = self._alpha.analyze(self.spec.input_box, splits=splits,
-                                         spec=self.spec.output_spec)
+                                         spec=self.spec.output_spec,
+                                         parent=parent)
         else:
             report = self._deeppoly.analyze(self.spec.input_box, splits=splits,
                                             spec=self.spec.output_spec,
-                                            cache=self.cache)
+                                            cache=self.cache, parent=parent,
+                                            timings=self.timings)
         return self._outcome_from_report(report)
 
     def evaluate_batch(self, splits_list: Sequence[Optional[SplitAssignment]],
-                       method: Optional[str] = None) -> List[AppVerOutcome]:
+                       method: Optional[str] = None,
+                       parents: Optional[Sequence[Optional[SplitAssignment]]] = None
+                       ) -> List[AppVerOutcome]:
         """Apply the approximated verifier to ``B`` sub-problems at once.
 
         Returns one :class:`AppVerOutcome` per entry of ``splits_list``, in
@@ -190,6 +304,10 @@ class ApproximateVerifier:
         (shared perturbation draws, stacked objective evaluations — see
         :meth:`~repro.bounds.alpha_crown.AlphaCrownAnalyzer.analyze_batch`).
         The realised batch size is recorded in :attr:`batch_histogram`.
+
+        ``parents`` (index-aligned with ``splits_list``, ``None`` entries
+        allowed) threads each sub-problem's BaB parent for the incremental
+        reuse paths; ignored when ``incremental`` is off.
         """
         method = method or self.method
         require(method in BOUND_METHODS, f"unknown bound method {method!r}")
@@ -198,16 +316,23 @@ class ApproximateVerifier:
         if not splits_list:
             return []
         self.batch_histogram[len(splits_list)] += 1
+        if not self.incremental:
+            parents = None
         if method == "ibp":
             reports = interval_bounds_batch(self.lowered, self.spec.input_box,
                                             splits_list, spec=self.spec.output_spec)
         elif method == "alpha-crown":
             reports = self._alpha.analyze_batch(self.spec.input_box, splits_list,
-                                                spec=self.spec.output_spec)
+                                                spec=self.spec.output_spec,
+                                                parents=parents)
         else:
             reports = self._deeppoly.analyze_batch(self.spec.input_box, splits_list,
                                                    spec=self.spec.output_spec,
-                                                   cache=self.cache)
+                                                   cache=self.cache,
+                                                   parents=parents,
+                                                   timings=self.timings)
+        if self.incremental and len(reports) > 1:
+            self._prevalidate_candidates(reports)
         return [self._outcome_from_report(report) for report in reports]
 
     def cache_stats(self) -> dict:
@@ -221,9 +346,12 @@ class ApproximateVerifier:
         """
         if self.cache is None:
             stats = {"layer_hits": 0, "layer_misses": 0, "report_hits": 0,
-                     "report_misses": 0, "evictions": 0}
+                     "report_misses": 0, "evictions": 0, "delta_corrections": 0}
         else:
             stats = self.cache.stats.as_dict()
+        stats["candidate_hits"] = self.candidate_hits
+        stats["candidate_misses"] = self.candidate_misses
+        stats["alpha_warm_starts"] = self._alpha.warm_starts
         stats.update(self.batch_stats())
         return stats
 

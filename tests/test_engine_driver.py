@@ -39,9 +39,11 @@ class StubAppver:
 
     def __init__(self):
         self.batches = []
+        self.parent_batches = []
 
-    def evaluate_batch(self, splits_list):
+    def evaluate_batch(self, splits_list, parents=None):
         self.batches.append(list(splits_list))
+        self.parent_batches.append(list(parents) if parents is not None else None)
         return [f"outcome-{i}" for i in range(len(splits_list))]
 
 
