@@ -40,7 +40,7 @@ from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
 from repro.utils.validation import require
-from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome, CascadeConfig
 from repro.verifiers.milp import (
     LEAF_FALSIFIED,
     LEAF_VERIFIED,
@@ -186,7 +186,8 @@ class BaBBaselineVerifier(Verifier):
                  alpha_config: Optional[AlphaCrownConfig] = None,
                  frontier_size: int = 1,
                  lp_cache: Optional[LpCache] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 cascade: Optional[CascadeConfig] = None) -> None:
         require(exploration in ("bfs", "dfs"),
                 f"exploration must be 'bfs' or 'dfs', got {exploration!r}")
         require(frontier_size >= 1, "frontier_size must be positive")
@@ -198,6 +199,7 @@ class BaBBaselineVerifier(Verifier):
         self.frontier_size = frontier_size
         self.lp_cache = lp_cache
         self.incremental = incremental
+        self.cascade = cascade
         if exploration == "dfs":
             self.name = "BaB-dfs"
 
@@ -210,7 +212,8 @@ class BaBBaselineVerifier(Verifier):
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, self.bound_method,
                                      alpha_config=self.alpha_config,
-                                     incremental=self.incremental)
+                                     incremental=self.incremental,
+                                     cascade=self.cascade)
         heuristic = self._make_heuristic()
         statistics = BaBStatistics()
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -239,20 +242,24 @@ class BaBBaselineVerifier(Verifier):
         verdict = driver.run(source, budget)
         return self._finish(verdict.status, budget, appver, statistics, lp_cache,
                             counterexample=verdict.counterexample,
-                            bound=verdict.bound)
+                            bound=verdict.bound,
+                            attached_by_stage=dict(driver.attached_by_stage))
 
     # -- helpers --------------------------------------------------------------
     def _finish(self, status: VerificationStatus, budget: Budget,
                 appver: ApproximateVerifier, statistics: BaBStatistics,
                 lp_cache: LpCache,
                 counterexample: Optional[np.ndarray] = None,
-                bound: Optional[float] = None) -> VerificationResult:
+                bound: Optional[float] = None,
+                attached_by_stage: Optional[dict] = None) -> VerificationResult:
         statistics.tree_size = appver.num_calls
         extras = statistics.as_dict()
         extras["frontier_size"] = self.frontier_size
         extras["incremental"] = self.incremental
         extras["bound_cache"] = appver.cache_stats()
         extras["lp_cache"] = lp_cache.stats.as_dict()
+        extras["cascade"] = appver.cascade_stats()
+        extras["cascade"]["attached_by_stage"] = attached_by_stage or {}
         extras["timings"] = appver.timings.as_dict()
         return VerificationResult(
             status=status,

@@ -46,7 +46,7 @@ from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
 from repro.utils.validation import require
-from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome
+from repro.verifiers.appver import ApproximateVerifier, AppVerOutcome, CascadeConfig
 from repro.verifiers.attack import AttackConfig, pgd_attack
 from repro.verifiers.milp import (
     LEAF_FALSIFIED,
@@ -175,7 +175,8 @@ class AlphaBetaCrownVerifier(Verifier):
                  lp_leaf_refinement: bool = True,
                  frontier_size: int = 1,
                  lp_cache: Optional[LpCache] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 cascade: Optional[CascadeConfig] = None) -> None:
         require(frontier_size >= 1, "frontier_size must be positive")
         self.heuristic_name = heuristic
         self.attack_config = attack_config or AttackConfig(steps=25, restarts=3)
@@ -184,6 +185,7 @@ class AlphaBetaCrownVerifier(Verifier):
         self.frontier_size = frontier_size
         self.lp_cache = lp_cache
         self.incremental = incremental
+        self.cascade = cascade
 
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
@@ -218,7 +220,8 @@ class AlphaBetaCrownVerifier(Verifier):
         # on the shared frontier engine, using the cheaper DeepPoly back-end
         # for sub-problems.
         sub_appver = ApproximateVerifier(network, spec, "deeppoly",
-                                         incremental=self.incremental)
+                                         incremental=self.incremental,
+                                         cascade=self.cascade)
         root_entry: HeapEntry = (root_outcome.p_hat, 0,
                                  SplitAssignment.empty(), root_outcome)
         # Fingerprint-scoping only matters for an externally shared cache.
@@ -234,7 +237,8 @@ class AlphaBetaCrownVerifier(Verifier):
         return self._finish(verdict.status, budget, budget.nodes, lp_cache,
                             counterexample=verdict.counterexample,
                             bound=verdict.bound, lp_leaves=source.lp_leaves,
-                            appver=sub_appver)
+                            appver=sub_appver,
+                            attached_by_stage=dict(driver.attached_by_stage))
 
     # -- helpers ---------------------------------------------------------------
     def _finish(self, status: VerificationStatus, budget: Budget, nodes: int,
@@ -242,7 +246,15 @@ class AlphaBetaCrownVerifier(Verifier):
                 counterexample: Optional[np.ndarray] = None,
                 bound: Optional[float] = None,
                 lp_leaves: int = 0,
-                appver: Optional[ApproximateVerifier] = None) -> VerificationResult:
+                appver: Optional[ApproximateVerifier] = None,
+                attached_by_stage: Optional[dict] = None) -> VerificationResult:
+        if appver is not None:
+            cascade = appver.cascade_stats()
+        else:  # pre-BaB exit: no sub-problem verifier was ever built
+            cascade = {"enabled": self.cascade.enabled if self.cascade else False,
+                       "children": 0, "decided": {}, "seen": {}, "seconds": {},
+                       "pre_exact_fraction": 0.0}
+        cascade["attached_by_stage"] = attached_by_stage or {}
         return VerificationResult(
             status=status,
             verifier=self.name,
@@ -257,6 +269,7 @@ class AlphaBetaCrownVerifier(Verifier):
                     "incremental": self.incremental,
                     "lp_leaves_resolved": lp_leaves,
                     "lp_cache": lp_cache.stats.as_dict(),
+                    "cascade": cascade,
                     "timings": (appver.timings.as_dict() if appver is not None
                                 else {})},
         )

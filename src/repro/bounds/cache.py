@@ -105,13 +105,17 @@ class CacheStats:
     ``delta_corrections`` counts the phase-split children whose layer entry
     was derived from the parent's entry with a rank-1 correction instead of
     a full backward substitution — the incremental path's reuse counter.
+    Evictions are likewise split by the kind of the entry that was dropped
+    (``layer_evictions`` / ``report_evictions``); :attr:`evictions` stays
+    available as their total.
     """
 
     layer_hits: int = 0
     layer_misses: int = 0
     report_hits: int = 0
     report_misses: int = 0
-    evictions: int = 0
+    layer_evictions: int = 0
+    report_evictions: int = 0
     delta_corrections: int = 0
 
     @property
@@ -122,6 +126,11 @@ class CacheStats:
     def misses(self) -> int:
         return self.layer_misses + self.report_misses
 
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions across both entry kinds."""
+        return self.layer_evictions + self.report_evictions
+
     def as_dict(self) -> dict:
         return {
             "layer_hits": self.layer_hits,
@@ -129,6 +138,8 @@ class CacheStats:
             "report_hits": self.report_hits,
             "report_misses": self.report_misses,
             "evictions": self.evictions,
+            "layer_evictions": self.layer_evictions,
+            "report_evictions": self.report_evictions,
             "delta_corrections": self.delta_corrections,
         }
 
@@ -154,8 +165,11 @@ class BoundCache:
             self._store.move_to_end(key)
         self._store[key] = value
         while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+            evicted_key, _ = self._store.popitem(last=False)
+            if evicted_key[0] == "layer":
+                self.stats.layer_evictions += 1
+            else:
+                self.stats.report_evictions += 1
 
     # -- substitution (per-layer) entries -------------------------------------
     def get_layer(self, layer: int, prefix_key: Tuple) -> Optional[SubstitutionEntry]:

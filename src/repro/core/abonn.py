@@ -281,7 +281,8 @@ class AbonnVerifier(Verifier):
                                      alpha_config=config.alpha_config,
                                      use_cache=config.use_bound_cache,
                                      cache_size=config.bound_cache_size,
-                                     incremental=config.incremental)
+                                     incremental=config.incremental,
+                                     cascade=config.cascade)
         heuristic = make_heuristic(config.heuristic)
         scorer = PotentialityScorer(max(appver.num_relu_neurons, 1), config.lam)
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -319,7 +320,8 @@ class AbonnVerifier(Verifier):
         return self._finish(verdict.status, appver, budget, lp_cache,
                             counterexample=verdict.counterexample,
                             bound=verdict.bound, max_depth=source.max_depth,
-                            lp_leaves=source.lp_leaves)
+                            lp_leaves=source.lp_leaves,
+                            attached_by_stage=dict(driver.attached_by_stage))
 
     # -- helpers ----------------------------------------------------------------
     def _make_child(self, parent: MctsNode, splits: SplitAssignment,
@@ -331,7 +333,11 @@ class AbonnVerifier(Verifier):
                 budget: Budget, lp_cache: LpCache,
                 counterexample: Optional[np.ndarray] = None,
                 bound: Optional[float] = None, max_depth: int = 0,
-                lp_leaves: int = 0) -> VerificationResult:
+                lp_leaves: int = 0,
+                attached_by_stage: Optional[dict] = None) -> VerificationResult:
+        """Map a terminal state to the verifier's result format."""
+        cascade = appver.cascade_stats()
+        cascade["attached_by_stage"] = attached_by_stage or {}
         return VerificationResult(
             status=status,
             verifier=self.name,
@@ -350,6 +356,7 @@ class AbonnVerifier(Verifier):
                 "lp_leaves_resolved": lp_leaves,
                 "bound_cache": appver.cache_stats(),
                 "lp_cache": lp_cache.stats.as_dict(),
+                "cascade": cascade,
                 "timings": appver.timings.as_dict(),
             },
         )

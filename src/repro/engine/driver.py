@@ -58,6 +58,7 @@ verifier.
 from __future__ import annotations
 
 import abc
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -311,6 +312,9 @@ class FrontierDriver:
         require(frontier_size >= 1, "frontier_size must be positive")
         self.appver = appver
         self.frontier_size = int(frontier_size)
+        #: Attached children per cascade stage (``"ibp"``/``"relaxed"``/
+        #: ``"exact"``); stays empty when outcomes carry no stage tag.
+        self.attached_by_stage = Counter()
 
     def run(self, source: WorkSource, budget: Budget) -> DriverVerdict:
         """Drive ``source`` until a verdict: the shared main loop."""
@@ -408,13 +412,20 @@ class FrontierDriver:
                 outcome = outcomes[position + offset]
                 budget.charge_node()
                 first_child = False
+                stage = getattr(outcome, "stage", None)
+                if stage is not None:
+                    self.attached_by_stage[stage] += 1
                 verdict = source.attach(expansion.item, phase, splits, outcome)
                 added += 1
                 if verdict is not None:
                     return verdict
             position += len(expansion.phases)
+            if stop:
+                # Wall-clock exhaustion cut the expansion short, so the
+                # ``leaf_attached`` contract ("all children attached") does
+                # not hold — the partial expansion must not be
+                # back-propagated as complete.
+                break
             if added and source.leaf_attached(expansion.item, added):
                 break  # a real counterexample surfaced; stop attaching more
-            if stop:
-                break
         return None

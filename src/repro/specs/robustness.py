@@ -103,7 +103,11 @@ def robustness_radius_sweep(make_verifier: Callable[[LpCache], object],
                                      domain_lower=domain_lower,
                                      domain_upper=domain_upper)
         verifier = make_verifier(cache)
-        run_budget = budget.copy() if budget is not None else None
+        # Start the per-run copy explicitly: ``make_verifier`` may build a
+        # custom verifier that consumes the budget directly (without the
+        # ``make_budget`` copy-and-start), and an unstarted wall clock would
+        # otherwise only begin at its first ``exhausted()`` check.
+        run_budget = budget.copy().start() if budget is not None else None
         results.append((float(epsilon),
                         verifier.verify(network, spec, run_budget)))
     return results, cache

@@ -25,10 +25,12 @@ class Stopwatch:
     def __init__(self) -> None:
         self._start: Optional[float] = None
         self._elapsed = 0.0
+        self._started = False
 
     def start(self) -> "Stopwatch":
         if self._start is None:
             self._start = time.perf_counter()
+            self._started = True
         return self
 
     def stop(self) -> float:
@@ -40,6 +42,12 @@ class Stopwatch:
     def reset(self) -> None:
         self._start = None
         self._elapsed = 0.0
+        self._started = False
+
+    @property
+    def started(self) -> bool:
+        """Whether the stopwatch has ever been started since creation/reset."""
+        return self._started
 
     @property
     def elapsed(self) -> float:
@@ -110,6 +118,12 @@ class Budget:
     ``max_seconds=None`` or ``max_nodes=None`` disables the respective limit.
     ``nodes`` counts the number of AppVer (bound computation) calls charged
     via :meth:`charge_node`.
+
+    The wall clock **auto-starts** on the first call to :meth:`exhausted` or
+    read of :attr:`elapsed_seconds`: a budget handed to a consumer that never
+    calls :meth:`start` still enforces ``max_seconds`` (previously the limit
+    was silently a no-op — the unstarted stopwatch reported 0 s forever).
+    :meth:`start` remains the explicit way to pin the measurement origin.
     """
 
     max_seconds: Optional[float] = None
@@ -129,11 +143,14 @@ class Budget:
 
     @property
     def elapsed_seconds(self) -> float:
+        """Wall-clock seconds consumed; starts the clock on first read."""
+        if not self._watch.started:
+            self._watch.start()
         return self._watch.elapsed
 
     def exhausted(self) -> bool:
         """Return True when either limit has been reached."""
-        if self.max_seconds is not None and self._watch.elapsed >= self.max_seconds:
+        if self.max_seconds is not None and self.elapsed_seconds >= self.max_seconds:
             return True
         if self.max_nodes is not None and self.nodes >= self.max_nodes:
             return True

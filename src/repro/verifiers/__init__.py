@@ -1,6 +1,11 @@
 """Verification front-ends: AppVer, attacks, MILP/LP backends, result types."""
 
-from repro.verifiers.appver import BOUND_METHODS, AppVerOutcome, ApproximateVerifier
+from repro.verifiers.appver import (
+    BOUND_METHODS,
+    AppVerOutcome,
+    ApproximateVerifier,
+    CascadeConfig,
+)
 from repro.verifiers.attack import (
     AttackConfig,
     AttackResult,
@@ -26,6 +31,7 @@ __all__ = [
     "BOUND_METHODS",
     "AppVerOutcome",
     "ApproximateVerifier",
+    "CascadeConfig",
     "AttackConfig",
     "AttackResult",
     "empirical_robustness_radius",

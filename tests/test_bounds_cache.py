@@ -145,6 +145,50 @@ class TestCacheSizeBound:
             AbonnConfig(bound_cache_size=0)
 
 
+class TestEvictionCountersByKind:
+    """Evictions are counted per entry kind, with ``evictions`` their sum.
+
+    The cache stores layer entries and whole-report entries in one LRU
+    store; a single shared counter could not tell whether pressure came
+    from the per-layer prefix entries or the memoised reports.
+    """
+
+    @staticmethod
+    def _entry():
+        return LayerEntry(np.zeros(2), np.ones(2), np.zeros(2), np.ones(2),
+                          np.zeros(2), False)
+
+    def test_layer_and_report_evictions_counted_separately(self):
+        cache = BoundCache(max_entries=2)
+        cache.put_layer(0, ("a",), self._entry())
+        cache.put_layer(0, ("b",), self._entry())
+        cache.put_report(("r",), True, "report")  # evicts layer ("a",)
+        cache.put_report(("s",), True, "report")  # evicts layer ("b",)
+        cache.put_report(("t",), True, "report")  # evicts report ("r",)
+        assert cache.stats.layer_evictions == 2
+        assert cache.stats.report_evictions == 1
+        assert cache.stats.evictions == 3
+
+    def test_as_dict_exposes_both_kinds(self):
+        cache = BoundCache(max_entries=1)
+        cache.put_layer(0, ("a",), self._entry())
+        cache.put_layer(0, ("b",), self._entry())
+        stats = cache.stats.as_dict()
+        assert stats["evictions"] == 1
+        assert stats["layer_evictions"] == 1
+        assert stats["report_evictions"] == 0
+
+    def test_lp_cache_eviction_counter(self):
+        from repro.bounds.cache import LpCache
+
+        cache = LpCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put((key,), "optimum")
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(("a",)) is None  # oldest evicted
+
+
 class TestCacheStats:
     def test_stats_accumulate(self, small_network):
         spec = _problem(small_network, [0.45, 0.55, 0.5, 0.4], 0.12)

@@ -1,0 +1,373 @@
+"""Tests for the precision-cascade dispatcher and the relaxed bound mode.
+
+Three layers of coverage:
+
+* **soundness** (property-based): the frozen-relaxation reports of
+  :meth:`DeepPolyAnalyzer.analyze_batch_relaxed` must lower-bound the true
+  spec margin on every sampled input that satisfies the child's split
+  constraints, and a relaxed ``infeasible`` flag must imply the exact
+  path's;
+* **trajectory equality**: verdicts, node charges and counterexamples must
+  be identical with the cascade on vs. off at ``K ∈ {1, 2, 8}`` — a
+  prefilter stage may only decide children the exact path also proves;
+* **plumbing**: ``extras["cascade"]`` is surfaced by all three verifiers
+  with a stable schema, outcomes carry stage tags, and the cascade-off
+  configuration stays on the single-back-end path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bab import BaBBaselineVerifier
+from repro.baselines.alphabeta_crown import AlphaBetaCrownVerifier
+from repro.bounds.cache import BoundCache
+from repro.bounds.deeppoly import DeepPolyAnalyzer
+from repro.bounds.splits import ACTIVE, INACTIVE, ReluSplit, SplitAssignment
+from repro.core.abonn import AbonnVerifier
+from repro.core.config import AbonnConfig
+from repro.specs.robustness import local_robustness_spec
+from repro.utils import Budget
+from repro.verifiers.appver import ApproximateVerifier, CascadeConfig
+
+from test_bounds_incremental import _random_problem
+
+CASCADE_ON = CascadeConfig(enabled=True)
+STAGE_NAMES = ("ibp", "relaxed", "deeppoly", "exact")
+
+
+def _problem(dataset, index, epsilon):
+    image, label = dataset.sample(index)
+    return local_robustness_spec(image.reshape(-1), epsilon, label,
+                                 dataset.num_classes)
+
+
+def _warmed_children(analyzer, box, spec, cache, limit=4):
+    """Analyse the root, then one-split children of its unstable neurons."""
+    parent = SplitAssignment.empty()
+    report = analyzer.analyze(box, parent, spec=spec, cache=cache)
+    children, parents = [], []
+    for layer, unit in report.unstable_neurons(parent)[:limit]:
+        for phase in (ACTIVE, INACTIVE):
+            children.append(parent.with_split(ReluSplit(layer, unit, phase)))
+            parents.append(parent)
+    return children, parents
+
+
+class TestRelaxedModeSoundness:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), depth=st.integers(1, 3),
+           width=st.integers(2, 5), epsilon=st.floats(0.02, 0.3))
+    def test_relaxed_bound_holds_on_sampled_feasible_points(self, seed, depth,
+                                                            width, epsilon):
+        """``p̂`` from the frozen-relaxation pass is a true lower bound of
+        the spec margin over the child's feasible region."""
+        network, spec = _random_problem(seed, depth, width, epsilon)
+        analyzer = DeepPolyAnalyzer(network)
+        box = spec.input_box
+        cache = BoundCache()
+        children, parents = _warmed_children(analyzer, box, spec.output_spec,
+                                             cache)
+        assume(children)
+        reports = analyzer.analyze_batch_relaxed(box, children,
+                                                 spec=spec.output_spec,
+                                                 cache=cache, parents=parents)
+        rng = np.random.default_rng(seed + 7)
+        samples = rng.uniform(box.lower, box.upper, size=(64, box.dimension))
+        outputs = network.forward(samples)
+        for child, report in zip(children, reports):
+            if report is None or report.infeasible:
+                continue
+            assert report.method == "deeppoly-relaxed"
+            for x, y in zip(samples, outputs):
+                if child.satisfied_by(network.pre_activations(x)):
+                    assert spec.output_spec.margin(y) >= report.p_hat - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), depth=st.integers(1, 3),
+           width=st.integers(2, 5))
+    def test_relaxed_infeasible_implies_exact_infeasible(self, seed, depth,
+                                                         width):
+        """A phase conflict on the parent's (looser) bounds must also be a
+        conflict on the child's own bounds."""
+        network, spec = _random_problem(seed, depth, width, 0.05)
+        analyzer = DeepPolyAnalyzer(network)
+        box = spec.input_box
+        cache = BoundCache()
+        parent = SplitAssignment.empty()
+        report = analyzer.analyze(box, parent, spec=spec.output_spec,
+                                  cache=cache)
+        stable = [(layer, unit, report.pre_activation_bounds[layer].lower[unit])
+                  for layer, bounds in enumerate(report.pre_activation_bounds)
+                  for unit in range(bounds.size)
+                  if bounds.lower[unit] > 1e-6]
+        assume(stable)
+        layer, unit, _ = stable[0]
+        child = parent.with_split(ReluSplit(layer, unit, INACTIVE))
+        relaxed = analyzer.analyze_batch_relaxed(box, [child],
+                                                 spec=spec.output_spec,
+                                                 cache=cache,
+                                                 parents=[parent])[0]
+        assert relaxed is not None and relaxed.infeasible
+        assert relaxed.p_hat == float("inf")
+        exact = analyzer.analyze(box, child, spec=spec.output_spec)
+        assert exact.infeasible
+
+    def test_relaxed_requires_cache_parents_and_entries(self, small_network):
+        reference = np.array([0.45, 0.55, 0.5, 0.4])
+        label = int(small_network.predict(reference.reshape(1, -1))[0])
+        spec = local_robustness_spec(reference, 0.12, label, 3)
+        lowered = small_network.lowered()
+        analyzer = DeepPolyAnalyzer(lowered)
+        box = spec.input_box
+        child = SplitAssignment.empty().with_split(ReluSplit(0, 0, ACTIVE))
+        parent = SplitAssignment.empty()
+        # No cache / no parents → the mode does not apply.
+        assert analyzer.analyze_batch_relaxed(box, [child],
+                                              spec=spec.output_spec) == [None]
+        cold = BoundCache()
+        assert analyzer.analyze_batch_relaxed(
+            box, [child], spec=spec.output_spec, cache=cold,
+            parents=[parent]) == [None]  # parent never analysed: no entries
+        # A grandchild of an analysed parent is not a one-split extension.
+        warm = BoundCache()
+        analyzer.analyze(box, parent, spec=spec.output_spec, cache=warm)
+        grandchild = child.with_split(ReluSplit(0, 1, ACTIVE))
+        assert analyzer.analyze_batch_relaxed(
+            box, [grandchild], spec=spec.output_spec, cache=warm,
+            parents=[parent]) == [None]
+
+    def test_relaxed_mode_never_writes_the_cache(self, small_network):
+        reference = np.array([0.45, 0.55, 0.5, 0.4])
+        label = int(small_network.predict(reference.reshape(1, -1))[0])
+        spec = local_robustness_spec(reference, 0.12, label, 3)
+        analyzer = DeepPolyAnalyzer(small_network.lowered())
+        box = spec.input_box
+        cache = BoundCache()
+        children, parents = _warmed_children(analyzer, box, spec.output_spec,
+                                             cache)
+        assert children
+        size_before = len(cache)
+        reports = analyzer.analyze_batch_relaxed(box, children,
+                                                 spec=spec.output_spec,
+                                                 cache=cache, parents=parents)
+        assert any(report is not None for report in reports)
+        assert len(cache) == size_before
+
+
+class TestCascadeTrajectoryEquality:
+    """Cascade on vs. off: verdict, charges and counterexample identical."""
+
+    #: (sample index, epsilon) pairs covering verified-after-branching,
+    #: falsified-after-branching and root-resolved problems.
+    PROBLEMS = [(25, 0.15), (13, 0.2), (13, 0.12)]
+
+    @staticmethod
+    def _assert_identical(off, on):
+        assert on.status == off.status
+        assert on.nodes_explored == off.nodes_explored
+        if off.bound is None:
+            assert on.bound is None
+        else:
+            assert on.bound == pytest.approx(off.bound, abs=1e-12)
+        if off.counterexample is None:
+            assert on.counterexample is None
+        else:
+            np.testing.assert_array_equal(on.counterexample,
+                                          off.counterexample)
+
+    @pytest.mark.parametrize("frontier_size", [1, 2, 8])
+    @pytest.mark.parametrize("index,epsilon", PROBLEMS)
+    def test_abonn_identical_at_all_frontier_sizes(self, trained_network,
+                                                   frontier_size, index,
+                                                   epsilon):
+        network, dataset = trained_network
+        spec = _problem(dataset, index, epsilon)
+        budget = Budget(max_nodes=300)
+        off = AbonnVerifier(AbonnConfig(frontier_size=frontier_size)).verify(
+            network, spec, budget.copy())
+        on = AbonnVerifier(AbonnConfig(frontier_size=frontier_size,
+                                       cascade=CASCADE_ON)).verify(
+            network, spec, budget.copy())
+        self._assert_identical(off, on)
+
+    @pytest.mark.parametrize("frontier_size", [1, 8])
+    def test_bab_baseline_identical(self, trained_network, frontier_size):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.2)
+        budget = Budget(max_nodes=300)
+        off = BaBBaselineVerifier(frontier_size=frontier_size).verify(
+            network, spec, budget.copy())
+        on = BaBBaselineVerifier(frontier_size=frontier_size,
+                                 cascade=CASCADE_ON).verify(
+            network, spec, budget.copy())
+        self._assert_identical(off, on)
+
+    @pytest.mark.parametrize("frontier_size", [1, 8])
+    def test_alphabeta_identical(self, trained_network, frontier_size):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.2)
+        budget = Budget(max_nodes=300)
+        off = AlphaBetaCrownVerifier(frontier_size=frontier_size).verify(
+            network, spec, budget.copy())
+        on = AlphaBetaCrownVerifier(frontier_size=frontier_size,
+                                    cascade=CASCADE_ON).verify(
+            network, spec, budget.copy())
+        self._assert_identical(off, on)
+
+
+class TestAdaptiveGating:
+    """A prefilter whose decide rate cannot pay for itself is switched off.
+
+    Gating is count-based (deterministic) and trajectory-safe: a gated
+    stage's children simply fall through to the exact stage, which would
+    have re-derived the same verdicts anyway.
+    """
+
+    def _children(self, verifier):
+        root = verifier.evaluate()
+        unstable = root.report.unstable_neurons()
+        assert unstable
+        parent = SplitAssignment.empty()
+        children = [parent.with_split(ReluSplit(layer, unit, phase))
+                    for layer, unit in unstable[:3]
+                    for phase in (ACTIVE, INACTIVE)]
+        return children, [parent] * len(children)
+
+    def test_cold_prefilters_switch_off_after_warmup(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        config = CascadeConfig(enabled=True, warmup_children=1,
+                               min_decide_rate=1.0)
+        verifier = ApproximateVerifier(network, spec, "deeppoly",
+                                       cascade=config)
+        children, parents = self._children(verifier)
+        verifier.evaluate_batch(children, parents=parents)
+        seen_first = dict(verifier.cascade_seen)
+        decided_first = dict(verifier.cascade_decided)
+        cold = [stage for stage in ("ibp", "relaxed")
+                if decided_first.get(stage, 0) < seen_first.get(stage, 0)]
+        assert cold, "the problem must leave at least one stage under-rate"
+        verifier.evaluate_batch(children, parents=parents)
+        for stage in cold:  # seen stops growing: the stage no longer runs
+            assert verifier.cascade_seen[stage] == seen_first[stage]
+
+    def test_adaptive_off_keeps_prefilters_running(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        config = CascadeConfig(enabled=True, adaptive=False)
+        verifier = ApproximateVerifier(network, spec, "deeppoly",
+                                       cascade=config)
+        children, parents = self._children(verifier)
+        verifier.evaluate_batch(children, parents=parents)
+        seen_first = verifier.cascade_seen["ibp"]
+        assert seen_first == len(children)
+        verifier.evaluate_batch(children, parents=parents)
+        assert verifier.cascade_seen["ibp"] == 2 * seen_first
+
+    def test_warmup_window_always_runs_the_stages(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        config = CascadeConfig(enabled=True, warmup_children=10_000,
+                               min_decide_rate=1.0)
+        verifier = ApproximateVerifier(network, spec, "deeppoly",
+                                       cascade=config)
+        children, parents = self._children(verifier)
+        for _ in range(3):
+            verifier.evaluate_batch(children, parents=parents)
+        assert verifier.cascade_seen["ibp"] == 3 * len(children)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(warmup_children=-1)
+        with pytest.raises(ValueError):
+            CascadeConfig(min_decide_rate=1.5)
+
+
+class TestCascadeExtras:
+    EXPECTED_KEYS = {"enabled", "children", "decided", "seen", "seconds",
+                     "pre_exact_fraction", "attached_by_stage"}
+
+    def test_schema_exposed_by_all_verifiers(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        for verifier in (AbonnVerifier(AbonnConfig(frontier_size=2,
+                                                   cascade=CASCADE_ON)),
+                         BaBBaselineVerifier(frontier_size=2,
+                                             cascade=CASCADE_ON),
+                         AlphaBetaCrownVerifier(frontier_size=2,
+                                                cascade=CASCADE_ON)):
+            result = verifier.verify(network, spec, Budget(max_nodes=300))
+            cascade = result.extras["cascade"]
+            assert set(cascade) == self.EXPECTED_KEYS
+            assert cascade["enabled"] is True
+            decided = cascade["decided"]
+            if decided:  # empty on pre-BaB exits (e.g. attack falsified)
+                assert set(decided) == set(STAGE_NAMES)
+                assert cascade["children"] == sum(decided.values())
+                assert set(cascade["seconds"]) == set(STAGE_NAMES)
+                assert 0.0 <= cascade["pre_exact_fraction"] <= 1.0
+            by_stage = cascade["attached_by_stage"]
+            assert sum(by_stage.values()) <= cascade["children"]
+
+    def test_disabled_cascade_reports_inactive_block(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        result = AbonnVerifier(AbonnConfig(frontier_size=2)).verify(
+            network, spec, Budget(max_nodes=120))
+        cascade = result.extras["cascade"]
+        assert cascade["enabled"] is False
+        assert cascade["children"] == 0
+        assert all(count == 0 for count in cascade["decided"].values())
+
+    def test_outcomes_carry_stage_tags(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        verifier = ApproximateVerifier(network, spec, "deeppoly",
+                                       cascade=CASCADE_ON)
+        root = verifier.evaluate()
+        unstable = root.report.unstable_neurons()
+        assert unstable
+        parent = SplitAssignment.empty()
+        children = [parent.with_split(ReluSplit(layer, unit, phase))
+                    for layer, unit in unstable[:3]
+                    for phase in (ACTIVE, INACTIVE)]
+        outcomes = verifier.evaluate_batch(children,
+                                           parents=[parent] * len(children))
+        assert all(outcome.stage in STAGE_NAMES for outcome in outcomes)
+        stats = verifier.cascade_stats()
+        assert stats["children"] == len(children)
+        assert sum(stats["decided"].values()) == len(children)
+
+    def test_cascade_off_leaves_stage_untagged(self, trained_network):
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.12)
+        verifier = ApproximateVerifier(network, spec, "deeppoly")
+        root = verifier.evaluate()
+        unstable = root.report.unstable_neurons()
+        assert unstable
+        layer, unit = unstable[0]
+        parent = SplitAssignment.empty()
+        children = [parent.with_split(ReluSplit(layer, unit, phase))
+                    for phase in (ACTIVE, INACTIVE)]
+        outcomes = verifier.evaluate_batch(children,
+                                           parents=[parent] * len(children))
+        assert all(outcome.stage is None for outcome in outcomes)
+        assert verifier.cascade_stats()["children"] == 0
+
+    def test_prefilter_stages_never_falsify(self, trained_network):
+        """Cheap stages only decide verified children: every falsified or
+        unknown outcome must come from the exact stage."""
+        network, dataset = trained_network
+        spec = _problem(dataset, 13, 0.2)
+        result = AbonnVerifier(AbonnConfig(frontier_size=8,
+                                           cascade=CASCADE_ON)).verify(
+            network, spec, Budget(max_nodes=300))
+        by_stage = result.extras["cascade"]["attached_by_stage"]
+        assert set(by_stage) <= set(STAGE_NAMES)
+        if result.status.name == "FALSIFIED":
+            # The falsifying child was necessarily bounded by the exact stage.
+            assert by_stage.get("exact", 0) >= 1

@@ -100,6 +100,62 @@ class ScriptedSource(WorkSource):
         return DriverVerdict(VerificationStatus.VERIFIED)
 
 
+class ScriptedBudget(Budget):
+    """A budget whose ``exhausted()`` answers follow a script (then False).
+
+    Lets a test exhaust the wall clock at an exact point of the attach
+    loop without sleeping.
+    """
+
+    def __init__(self, script, **kwargs):
+        super().__init__(**kwargs)
+        self.script = list(script)
+
+    def exhausted(self):
+        if self.script:
+            return bool(self.script.pop(0))
+        return False
+
+
+class BackpropRecordingSource(ScriptedSource):
+    """ScriptedSource that records ``leaf_attached`` back-propagations."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.completed = []
+
+    def leaf_attached(self, item, added):
+        self.completed.append((item[1], added))
+        return False
+
+
+class TestPartialAttachBackprop:
+    """Regression: ``leaf_attached`` fired on wall-clock-cut expansions.
+
+    The hook's contract is "all of the item's children for this round are
+    attached"; when ``attach_exhausted`` stops the round between two
+    children, the expansion is partial and must not be back-propagated as
+    complete.
+    """
+
+    def test_exhausted_expansion_is_not_reported_complete(self):
+        appver = StubAppver()
+        source = BackpropRecordingSource([("split", "a")])
+        # run-loop check, affordable_phases check, then exhaustion between
+        # the two children of "a".
+        budget = ScriptedBudget([False, False, True])
+        FrontierDriver(appver, frontier_size=1).run(source, budget)
+        assert [name for name, _, _ in source.attached] == ["a"]
+        assert source.completed == []  # partial: leaf_attached must not fire
+
+    def test_complete_expansion_is_reported_with_all_children(self):
+        appver = StubAppver()
+        source = BackpropRecordingSource([("split", "a")])
+        FrontierDriver(appver, frontier_size=1).run(source, Budget())
+        assert [name for name, _, _ in source.attached] == ["a", "a"]
+        assert source.completed == [("a", 2)]
+
+
 class TestDriverContract:
     def test_rejects_invalid_frontier_size(self):
         with pytest.raises(ValueError):

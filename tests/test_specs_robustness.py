@@ -1,9 +1,16 @@
 """Tests for repro.specs.robustness."""
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.specs.robustness import local_robustness_spec, robustness_output_spec
+from repro.specs.robustness import (
+    local_robustness_spec,
+    robustness_output_spec,
+    robustness_radius_sweep,
+)
+from repro.utils.timing import Budget
 
 
 class TestRobustnessOutputSpec:
@@ -66,3 +73,45 @@ class TestLocalRobustnessSpec:
         reference = np.zeros((2, 2))
         spec = local_robustness_spec(reference, 0.1, label=0, num_classes=2)
         assert spec.input_dim == 4
+
+
+class TestRadiusSweepBudget:
+    """Regression: the sweep handed each run an *unstarted* budget copy.
+
+    A custom verifier that consumes the budget directly (without the
+    ``make_budget`` copy-and-start) then saw a wall clock that only began
+    at its first ``exhausted()`` check, so time spent before that check
+    was free.  The sweep now starts each per-run copy explicitly.
+    """
+
+    def test_each_run_receives_a_started_fresh_budget(self):
+        seen = []
+
+        class StubVerifier:
+            def verify(self, network, spec, budget):
+                time.sleep(0.005)
+                # The clock must already be running: work done before the
+                # verifier's first exhaustion check is on the record.
+                seen.append(budget.elapsed_seconds)
+                return budget.exhausted()
+
+        results, _ = robustness_radius_sweep(
+            lambda cache: StubVerifier(), network=None,
+            reference=np.zeros(2), epsilons=[0.05, 0.1], label=0,
+            num_classes=2, budget=Budget(max_seconds=0.001))
+        assert len(seen) == 2
+        assert all(elapsed > 0.0 for elapsed in seen)
+        assert all(exhausted is True for _, exhausted in results)
+
+    def test_no_budget_still_passes_none_through(self):
+        captured = []
+
+        class StubVerifier:
+            def verify(self, network, spec, budget):
+                captured.append(budget)
+                return None
+
+        robustness_radius_sweep(lambda cache: StubVerifier(), network=None,
+                                reference=np.zeros(2), epsilons=[0.05],
+                                label=0, num_classes=2)
+        assert captured == [None]

@@ -31,6 +31,16 @@ class TestStopwatch:
             time.sleep(0.005)
         assert watch.elapsed > 0.0
 
+    def test_started_flag_tracks_lifecycle(self):
+        watch = Stopwatch()
+        assert not watch.started
+        watch.start()
+        assert watch.started
+        watch.stop()
+        assert watch.started  # stopped, but the origin is still pinned
+        watch.reset()
+        assert not watch.started
+
 
 class TestBudget:
     def test_node_budget_exhaustion(self):
@@ -68,3 +78,30 @@ class TestBudget:
         assert fresh.nodes == 0
         assert fresh.max_nodes == 5
         assert not fresh.start().exhausted()
+
+
+class TestBudgetAutoStart:
+    """Regression: an unstarted ``max_seconds`` was silently a no-op.
+
+    The unstarted stopwatch reported 0 s forever, so a budget handed to a
+    consumer that never called ``start()`` could not time out.  The clock
+    now auto-starts on the first ``exhausted()`` check (or
+    ``elapsed_seconds`` read).
+    """
+
+    def test_unstarted_time_budget_still_triggers(self):
+        budget = Budget(max_seconds=0.001)  # note: no .start()
+        budget.exhausted()  # first check auto-starts the clock
+        time.sleep(0.01)
+        assert budget.exhausted()
+
+    def test_unstarted_elapsed_seconds_grows(self):
+        budget = Budget()  # note: no .start()
+        first = budget.elapsed_seconds
+        time.sleep(0.005)
+        assert budget.elapsed_seconds > first
+
+    def test_explicit_start_pins_the_origin(self):
+        budget = Budget(max_seconds=100.0).start()
+        time.sleep(0.005)
+        assert budget.elapsed_seconds > 0.0
