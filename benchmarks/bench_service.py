@@ -1,0 +1,249 @@
+"""Benchmark: verification-service throughput, latency and cache reuse.
+
+Models the service's target workload — repeated queries against a small set
+of verification problems (radius bisections, dashboards, repeated API
+calls) — and compares:
+
+* ``sequential`` — every job run cold, one at a time, on a fresh
+  ``AbonnVerifier`` with fresh caches (the pre-service behaviour);
+* ``service`` — the same jobs multiplexed through one
+  :class:`repro.service.VerificationService` at pool sizes {1, 2, 4},
+  where jobs sharing a problem fingerprint share that fingerprint's
+  LP/bound cache bundle and the pool-wide warm-model digest.
+
+The service is cooperative and deterministic, so its speedup is *reuse*,
+not parallelism: repeat jobs serve their bound passes and leaf LPs from the
+warm fingerprint bundle.  Every job's verdict, node charges and
+counterexample are gated for equality with its sequential-cold run, and the
+report includes throughput (jobs/s and speedup over sequential), latency
+percentiles (p50/p95/p99 of per-job submit-to-finish wall time) and cache
+reuse rates (per-job LP/bound hit deltas).
+
+Results are printed as JSON and written to
+``benchmarks/output/BENCH_service.json``; the stable top-level ``summary``
+block feeds ``tools/check_bench_regression.py`` against the committed
+baseline.  Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the
+workload for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.abonn import AbonnVerifier
+from repro.nn import dense_network
+from repro.nn.zoo import MODEL_FAMILIES
+from repro.service import ServiceConfig, VerificationService
+from repro.specs.robustness import local_robustness_spec
+from repro.utils.timing import Budget
+from repro.verifiers.appver import ApproximateVerifier
+
+OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_service.json"
+
+FULL_FAMILIES = ("MNIST_L2", "MNIST_L4")
+SMOKE_FAMILIES = ("MNIST_L2",)
+POOL_SIZES = (1, 2, 4)
+
+
+def _smoke_mode(args: argparse.Namespace) -> bool:
+    return args.smoke or os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _branching_problem(family_name: str):
+    """A robustness problem whose root needs splits (the BaB regime)."""
+    family = MODEL_FAMILIES[family_name]
+    dataset = family.build_dataset(0)
+    network = family.build_network(dataset, 0)
+    for reference_index in range(8):
+        reference = dataset.inputs[reference_index].reshape(-1)
+        label = int(network.predict(reference.reshape(1, -1))[0])
+        for epsilon in (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4):
+            spec = local_robustness_spec(reference, epsilon,
+                                         label, dataset.num_classes)
+            outcome = ApproximateVerifier(network, spec,
+                                          use_cache=False).evaluate()
+            if outcome.needs_split:
+                return network, spec, epsilon
+    raise RuntimeError(f"no branching problem found for {family_name}")
+
+
+def _make_workload(families, repeats: int):
+    """``(network, spec)`` jobs: each family's problem, ``repeats`` times.
+
+    Jobs are interleaved across families (A B A B …) the way concurrent
+    clients would submit them, so cross-request reuse happens under
+    realistic mixing rather than back-to-back repeats.
+    """
+    problems = [_branching_problem(name) + (name,) for name in families]
+    # A tiny dense problem that resolves leaf LPs within a few nodes, so the
+    # workload also exercises cross-request LP-cache reuse (the family
+    # problems rarely reach fully decided leaves at smoke budgets).
+    tiny_network = dense_network([6, 10, 8, 4], seed=1)
+    tiny_reference = np.full(6, 0.5)
+    tiny_label = int(tiny_network.predict(tiny_reference.reshape(1, -1))[0])
+    tiny_spec = local_robustness_spec(tiny_reference, 0.1, tiny_label, 4)
+    problems.append((tiny_network, tiny_spec, 0.1, "TINY"))
+    jobs = []
+    for repeat in range(repeats):
+        for network, spec, epsilon, name in problems:
+            jobs.append({"network": network, "spec": spec,
+                         "family": name, "epsilon": epsilon,
+                         "repeat": repeat})
+    return jobs
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _result_key(result) -> tuple:
+    cex = result.counterexample
+    return (result.status.value, result.nodes_explored, result.tree_size,
+            None if cex is None else tuple(np.asarray(cex).round(12).tolist()))
+
+
+def bench_sequential(jobs, max_nodes: int) -> Dict:
+    """Every job cold, one at a time — the baseline the service must beat."""
+    latencies = []
+    keys = []
+    start = time.perf_counter()
+    for job in jobs:
+        job_start = time.perf_counter()
+        result = AbonnVerifier().verify(job["network"], job["spec"],
+                                        Budget(max_nodes=max_nodes))
+        latencies.append(time.perf_counter() - job_start)
+        keys.append(_result_key(result))
+    total = time.perf_counter() - start
+    return {
+        "total_seconds": total,
+        "throughput_jobs_per_sec": len(jobs) / total if total else 0.0,
+        "latency_p50": _percentile(latencies, 0.50),
+        "latency_p95": _percentile(latencies, 0.95),
+        "latency_p99": _percentile(latencies, 0.99),
+        "result_keys": keys,
+    }
+
+
+def bench_service(jobs, max_nodes: int, pool_size: int,
+                  sequential: Dict) -> Dict:
+    """The same jobs through one service; equality-gated against cold runs."""
+    service = VerificationService(ServiceConfig(pool_size=pool_size,
+                                                rounds_per_slice=4))
+    start = time.perf_counter()
+    job_ids = [service.submit(job["network"], job["spec"],
+                              budget=Budget(max_nodes=max_nodes))
+               for job in jobs]
+    results = {done.job_id: done for done in service.as_completed()}
+    total = time.perf_counter() - start
+
+    latencies = []
+    lp_hits = lp_misses = bound_hits = bound_misses = 0
+    verdicts_identical = True
+    for index, job_id in enumerate(job_ids):
+        done = results[job_id]
+        assert done.ok, f"service job failed: {done.error}"
+        latencies.append(done.latency_seconds)
+        lp_hits += done.cache_stats.get("lp_hits", 0)
+        lp_misses += done.cache_stats.get("lp_misses", 0)
+        bound_hits += (done.cache_stats.get("bound_layer_hits", 0)
+                       + done.cache_stats.get("bound_report_hits", 0))
+        bound_misses += (done.cache_stats.get("bound_layer_misses", 0)
+                         + done.cache_stats.get("bound_report_misses", 0))
+        if _result_key(done.result) != sequential["result_keys"][index]:
+            verdicts_identical = False
+    stats = service.stats()
+    throughput = len(jobs) / total if total else 0.0
+    return {
+        "pool_size": pool_size,
+        "total_seconds": total,
+        "throughput_jobs_per_sec": throughput,
+        "throughput_speedup": (throughput
+                               / sequential["throughput_jobs_per_sec"]
+                               if sequential["throughput_jobs_per_sec"]
+                               else 0.0),
+        "latency_p50": _percentile(latencies, 0.50),
+        "latency_p95": _percentile(latencies, 0.95),
+        "latency_p99": _percentile(latencies, 0.99),
+        "p95_latency_ratio": (_percentile(latencies, 0.95)
+                              / sequential["latency_p95"]
+                              if sequential["latency_p95"] else 0.0),
+        "verdicts_identical": verdicts_identical,
+        "lp_hits": lp_hits,
+        "lp_hit_rate": lp_hits / (lp_hits + lp_misses)
+        if lp_hits + lp_misses else 0.0,
+        "bound_hits": bound_hits,
+        "bound_hit_rate": bound_hits / (bound_hits + bound_misses)
+        if bound_hits + bound_misses else 0.0,
+        "slices": stats["slices"],
+        "fingerprints": stats["pool"]["fingerprints"],
+        "model_cache_hits": stats["pool"]["model_cache_hits"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI")
+    args = parser.parse_args(argv)
+    smoke = _smoke_mode(args)
+
+    families = SMOKE_FAMILIES if smoke else FULL_FAMILIES
+    repeats = 4 if smoke else 6
+    max_nodes = 64 if smoke else 256
+
+    jobs = _make_workload(families, repeats)
+    sequential = bench_sequential(jobs, max_nodes)
+    service_rows = [bench_service(jobs, max_nodes, pool_size, sequential)
+                    for pool_size in POOL_SIZES]
+
+    summary = {
+        "smoke": smoke,
+        "jobs": len(jobs),
+        # Acceptance: every multiplexed job's verdict/charges/counterexample
+        # identical to its sequential cold run at every pool size; >1.5x
+        # throughput over sequential on this shared-fingerprint workload
+        # (the repeats run against warm caches) with nonzero cross-request
+        # cache hits; p95 latency bounded relative to a cold run.
+        "service_verdicts_identical": all(row["verdicts_identical"]
+                                          for row in service_rows),
+        "service_min_throughput_speedup": min(row["throughput_speedup"]
+                                              for row in service_rows),
+        "service_min_lp_hit_rate": min(row["lp_hit_rate"]
+                                       for row in service_rows),
+        "service_min_bound_hit_rate": min(row["bound_hit_rate"]
+                                          for row in service_rows),
+        "service_total_lp_hits": sum(row["lp_hits"] for row in service_rows),
+        "service_total_bound_hits": sum(row["bound_hits"]
+                                        for row in service_rows),
+        "service_max_p95_latency_ratio": max(row["p95_latency_ratio"]
+                                             for row in service_rows),
+    }
+    payload = {
+        "benchmark": "verification_service",
+        "max_nodes": max_nodes,
+        "summary": summary,
+        "sequential": {key: value for key, value in sequential.items()
+                       if key != "result_keys"},
+        "service": service_rows,
+    }
+
+    text = json.dumps(payload, indent=2)
+    print(text)
+    OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_PATH.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Serve a batch of robustness queries through the verification service.
+
+Run with::
+
+    python examples/serve_robustness.py
+
+The script plays a small verification "server": a mixed batch of local
+robustness queries on one trained model — several references, several radii,
+some radii queried twice (as bisection searches and dashboards do) — is
+submitted to one :class:`repro.service.VerificationService` and the results
+stream back in completion order.  Along the way it demonstrates
+
+* **priorities** — the urgent query (highest radius) is submitted last with
+  high priority and still finishes among the first;
+* **deadlines** — one query carries a tight wall-clock deadline and comes
+  back TIMEOUT with ``deadline_exceeded`` when it cannot finish in time;
+* **cross-request cache reuse** — repeated queries share their problem
+  fingerprint's LP/bound caches, visible in the per-job cache deltas;
+* the :func:`repro.specs.robustness.robustness_radius_sweep_service`
+  convenience, which runs a whole radius ladder as service jobs.
+"""
+
+import numpy as np
+
+from repro import Budget
+from repro.nn import build_trained_model
+from repro.service import ServiceConfig, VerificationService
+from repro.specs import local_robustness_spec, robustness_radius_sweep_service
+
+
+def main() -> None:
+    network, dataset = build_trained_model("MNIST_L2", seed=0)
+    print(f"model: {network.name}, {network.num_relu_neurons} ReLU neurons\n")
+
+    service = VerificationService(ServiceConfig(pool_size=2,
+                                                rounds_per_slice=2))
+    budget = Budget(max_nodes=300)
+
+    # A mixed query batch: three references, two radii each, the middle
+    # radius queried twice so its second query runs against warm caches.
+    submitted = {}
+    for index in range(3):
+        image, label = dataset.sample(index)
+        reference = image.reshape(-1)
+        for epsilon in (0.01, 0.03, 0.03):
+            spec = local_robustness_spec(reference, epsilon, label,
+                                         dataset.num_classes)
+            job_id = service.submit(network, spec, budget=budget.copy())
+            submitted[job_id] = (index, epsilon)
+    # The urgent query arrives last but runs at high priority, and one
+    # query gets a (deliberately tight) deadline.
+    image, label = dataset.sample(3)
+    urgent_spec = local_robustness_spec(image.reshape(-1), 0.05, label,
+                                        dataset.num_classes)
+    job_id = service.submit(network, urgent_spec, budget=budget.copy(),
+                            priority=10)
+    submitted[job_id] = (3, 0.05)
+    deadline_spec = local_robustness_spec(image.reshape(-1), 0.02, label,
+                                          dataset.num_classes)
+    job_id = service.submit(network, deadline_spec, budget=budget.copy(),
+                            deadline_seconds=0.05)
+    submitted[job_id] = (3, 0.02)
+
+    print(f"{'job':>7} {'input':>5} {'eps':>6} {'verdict':>10} "
+          f"{'slices':>6} {'lp hits':>8} {'bound hits':>10} {'note':>9}")
+    for job in service.as_completed():
+        index, epsilon = submitted[job.job_id]
+        if job.ok:
+            verdict = job.result.status.value
+            note = "deadline" if job.deadline_exceeded else ""
+        else:
+            verdict = "error"
+            note = job.error.kind
+        lp_hits = job.cache_stats.get("lp_hits", 0)
+        bound_hits = (job.cache_stats.get("bound_layer_hits", 0)
+                      + job.cache_stats.get("bound_report_hits", 0))
+        print(f"{job.job_id:>7} {index:>5} {epsilon:>6.3f} {verdict:>10} "
+              f"{job.slices:>6} {lp_hits:>8} {bound_hits:>10} {note:>9}")
+
+    stats = service.stats()
+    pool = stats["pool"]
+    print(f"\nservice: {stats['jobs_completed']} jobs in {stats['slices']} "
+          f"slices over {stats['pool_size']} workers; "
+          f"{pool['fingerprints']} problem fingerprints, "
+          f"{pool['model_cache_hits']} warm-model digest hits")
+
+    # The radius-sweep helper runs a whole epsilon ladder as service jobs.
+    image, label = dataset.sample(0)
+    results, sweep_service = robustness_radius_sweep_service(
+        network, image.reshape(-1), epsilons=np.linspace(0.005, 0.04, 4),
+        label=label, num_classes=dataset.num_classes, budget=budget)
+    print("\nradius sweep through the service:")
+    for epsilon, result in results:
+        print(f"  eps={epsilon:.4f}: {result.status.value} "
+              f"({result.nodes_explored} nodes)")
+
+
+if __name__ == "__main__":
+    main()

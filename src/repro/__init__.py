@@ -11,6 +11,8 @@ The package is organised as:
 * :mod:`repro.core` — the paper's contribution (counterexample potentiality,
   MCTS-style exploration, the ABONN verifier);
 * :mod:`repro.baselines` — the αβ-CROWN-like baseline;
+* :mod:`repro.service` — the verification service (job scheduling, cache
+  pooling, batch/streaming APIs over every verifier);
 * :mod:`repro.experiments` — benchmark suite, runners, tables and figures.
 
 Quickstart::
@@ -45,6 +47,9 @@ from repro.verifiers import (
     pgd_attack,
 )
 
+# The service layer sits above every verifier, so it imports last.
+from repro.service import ServiceConfig, VerificationService
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -58,9 +63,11 @@ __all__ = [
     "LinearOutputSpec",
     "MilpVerifier",
     "Network",
+    "ServiceConfig",
     "Specification",
     "VerificationResult",
     "VerificationStatus",
+    "VerificationService",
     "build_trained_model",
     "counterexample_potentiality",
     "dense_network",

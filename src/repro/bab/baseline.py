@@ -49,9 +49,11 @@ from repro.verifiers.milp import (
     solve_leaf_lp_batch,
 )
 from repro.verifiers.result import (
+    CompletedRun,
     VerificationResult,
     VerificationStatus,
     Verifier,
+    VerifierRun,
     make_budget,
 )
 
@@ -172,11 +174,54 @@ class QueueFrontierSource(LinearWorkSource):
         return self.appver.evaluate(splits).p_hat
 
 
+class _BaselineRun(VerifierRun):
+    """A resumable BaB-baseline run: one driver round per :meth:`step`."""
+
+    def __init__(self, verifier: "BaBBaselineVerifier", budget: Budget,
+                 appver: ApproximateVerifier, statistics: BaBStatistics,
+                 lp_cache: LpCache, source: QueueFrontierSource,
+                 driver: FrontierDriver) -> None:
+        self.verifier = verifier
+        self.budget = budget
+        self.appver = appver
+        self.statistics = statistics
+        self.lp_cache = lp_cache
+        self.source = source
+        self.driver = driver
+        self._run = driver.start(source, budget)
+        self._result: Optional[VerificationResult] = None
+
+    def _finish(self, verdict: DriverVerdict) -> VerificationResult:
+        return self.verifier._finish(
+            verdict.status, self.budget, self.appver, self.statistics,
+            self.lp_cache, counterexample=verdict.counterexample,
+            bound=verdict.bound,
+            attached_by_stage=dict(self.driver.attached_by_stage))
+
+    def step(self) -> Optional[VerificationResult]:
+        """Advance one frontier round; the final result once finished."""
+        if self._result is not None:
+            return self._result
+        verdict = self._run.step()
+        if verdict is None:
+            return None
+        self._result = self._finish(verdict)
+        return self._result
+
+    def interrupt(self) -> VerificationResult:
+        """Finish early with the queue source's TIMEOUT (root bound kept)."""
+        if self._result is None:
+            self._result = self._finish(self.source.timeout())
+        return self._result
+
+
 class BaBBaselineVerifier(Verifier):
     """Breadth-first (or depth-first) branch-and-bound verification.
 
     ``lp_cache`` optionally shares a leaf-LP cache across runs on the same
-    verification problem (see :class:`~repro.bounds.cache.LpCache`).
+    verification problem (see :class:`~repro.bounds.cache.LpCache`);
+    ``bound_cache`` does the same for the split-aware bound cache (the
+    verification service scopes both by the problem fingerprint).
     """
 
     name = "BaB-baseline"
@@ -187,7 +232,8 @@ class BaBBaselineVerifier(Verifier):
                  frontier_size: int = 1,
                  lp_cache: Optional[LpCache] = None,
                  incremental: bool = True,
-                 cascade: Optional[CascadeConfig] = None) -> None:
+                 cascade: Optional[CascadeConfig] = None,
+                 bound_cache=None) -> None:
         require(exploration in ("bfs", "dfs"),
                 f"exploration must be 'bfs' or 'dfs', got {exploration!r}")
         require(frontier_size >= 1, "frontier_size must be positive")
@@ -200,20 +246,22 @@ class BaBBaselineVerifier(Verifier):
         self.lp_cache = lp_cache
         self.incremental = incremental
         self.cascade = cascade
+        self.bound_cache = bound_cache
         if exploration == "dfs":
             self.name = "BaB-dfs"
 
     def _make_heuristic(self) -> BranchingHeuristic:
         return make_heuristic(self.heuristic_name)
 
-    def verify(self, network: Network, spec: Specification,
-               budget: Optional[Budget] = None) -> VerificationResult:
-        """Run breadth/depth-first BaB on the shared frontier engine."""
+    def start_run(self, network: Network, spec: Specification,
+                  budget: Optional[Budget] = None) -> VerifierRun:
+        """Set up BaB and return a run preemptible at round boundaries."""
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, self.bound_method,
                                      alpha_config=self.alpha_config,
                                      incremental=self.incremental,
-                                     cascade=self.cascade)
+                                     cascade=self.cascade,
+                                     bound_cache=self.bound_cache)
         heuristic = self._make_heuristic()
         statistics = BaBStatistics()
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -221,13 +269,14 @@ class BaBBaselineVerifier(Verifier):
         root_outcome = appver.evaluate()
         budget.charge_node()
         if root_outcome.verified or root_outcome.report.infeasible:
-            return self._finish(VerificationStatus.VERIFIED, budget, appver,
-                                statistics, lp_cache, bound=root_outcome.p_hat)
+            return CompletedRun(self._finish(
+                VerificationStatus.VERIFIED, budget, appver, statistics,
+                lp_cache, bound=root_outcome.p_hat))
         if root_outcome.falsified:
-            return self._finish(VerificationStatus.FALSIFIED, budget, appver,
-                                statistics, lp_cache,
-                                counterexample=root_outcome.candidate,
-                                bound=root_outcome.p_hat)
+            return CompletedRun(self._finish(
+                VerificationStatus.FALSIFIED, budget, appver, statistics,
+                lp_cache, counterexample=root_outcome.candidate,
+                bound=root_outcome.p_hat))
 
         root = BaBNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
         # Fingerprint-scoping only matters for an externally shared cache.
@@ -239,11 +288,13 @@ class BaBBaselineVerifier(Verifier):
                                      self.lp_leaf_refinement, root_outcome.p_hat,
                                      lp_fingerprint=lp_fingerprint)
         driver = FrontierDriver(appver, self.frontier_size)
-        verdict = driver.run(source, budget)
-        return self._finish(verdict.status, budget, appver, statistics, lp_cache,
-                            counterexample=verdict.counterexample,
-                            bound=verdict.bound,
-                            attached_by_stage=dict(driver.attached_by_stage))
+        return _BaselineRun(self, budget, appver, statistics, lp_cache,
+                            source, driver)
+
+    def verify(self, network: Network, spec: Specification,
+               budget: Optional[Budget] = None) -> VerificationResult:
+        """Run breadth/depth-first BaB on the shared frontier engine."""
+        return self.start_run(network, spec, budget).run_to_completion()
 
     # -- helpers --------------------------------------------------------------
     def _finish(self, status: VerificationStatus, budget: Budget,

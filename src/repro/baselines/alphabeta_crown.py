@@ -56,9 +56,11 @@ from repro.verifiers.milp import (
     solve_leaf_lp_batch,
 )
 from repro.verifiers.result import (
+    CompletedRun,
     VerificationResult,
     VerificationStatus,
     Verifier,
+    VerifierRun,
     make_budget,
 )
 
@@ -160,6 +162,41 @@ class HeapFrontierSource(LinearWorkSource):
         return None
 
 
+class _AlphaBetaRun(VerifierRun):
+    """A preemptible αβ-CROWN-style BaB run (stage 3 of ``start_run``)."""
+
+    def __init__(self, verifier: "AlphaBetaCrownVerifier", budget: Budget,
+                 lp_cache: LpCache, source: HeapFrontierSource,
+                 driver: FrontierDriver,
+                 sub_appver: ApproximateVerifier) -> None:
+        self.verifier = verifier
+        self.budget = budget
+        self.lp_cache = lp_cache
+        self.source = source
+        self.driver = driver
+        self.sub_appver = sub_appver
+        self._run = driver.start(source, budget)
+
+    def _finish(self, verdict: DriverVerdict) -> VerificationResult:
+        return self.verifier._finish(
+            verdict.status, self.budget, self.budget.nodes, self.lp_cache,
+            counterexample=verdict.counterexample,
+            bound=verdict.bound, lp_leaves=self.source.lp_leaves,
+            appver=self.sub_appver,
+            attached_by_stage=dict(self.driver.attached_by_stage))
+
+    def step(self) -> Optional[VerificationResult]:
+        """Advance one frontier round; the final result once decided."""
+        verdict = self._run.step()
+        if verdict is None:
+            return None
+        return self._finish(verdict)
+
+    def interrupt(self) -> VerificationResult:
+        """Stop early, reporting TIMEOUT with the best bound so far."""
+        return self._finish(self.source.timeout())
+
+
 class AlphaBetaCrownVerifier(Verifier):
     """Attack + α-CROWN root + bound-ordered best-first BaB.
 
@@ -190,6 +227,18 @@ class AlphaBetaCrownVerifier(Verifier):
     def verify(self, network: Network, spec: Specification,
                budget: Optional[Budget] = None) -> VerificationResult:
         """Attack, then α-CROWN root bound, then best-first engine BaB."""
+        return self.start_run(network, spec, budget).run_to_completion()
+
+    def start_run(self, network: Network, spec: Specification,
+                  budget: Optional[Budget] = None) -> VerifierRun:
+        """Run the attack and root-bound stages; return a resumable BaB run.
+
+        The cheap pre-BaB stages (PGD attack, α-CROWN root bound) execute
+        here, so an instance they settle comes back as a
+        :class:`~repro.verifiers.result.CompletedRun`; otherwise the
+        returned run is preemptible at frontier-round boundaries like the
+        other engine-backed verifiers.
+        """
         budget = make_budget(budget)
         heuristic = make_heuristic(self.heuristic_name)
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -198,9 +247,10 @@ class AlphaBetaCrownVerifier(Verifier):
         attack = pgd_attack(network, spec, self.attack_config)
         budget.charge_node()  # the attack costs roughly one bound computation
         if attack.is_counterexample:
-            return self._finish(VerificationStatus.FALSIFIED, budget, 1, lp_cache,
-                                counterexample=attack.best_input,
-                                bound=attack.best_margin)
+            return CompletedRun(self._finish(
+                VerificationStatus.FALSIFIED, budget, 1, lp_cache,
+                counterexample=attack.best_input,
+                bound=attack.best_margin))
 
         # Stage 2: α-CROWN bound on the root problem.
         appver = ApproximateVerifier(network, spec, "alpha-crown",
@@ -209,12 +259,14 @@ class AlphaBetaCrownVerifier(Verifier):
         root_cost = 2 + 3 * self.alpha_config.iterations
         budget.charge_node(root_cost)
         if root_outcome.verified or root_outcome.report.infeasible:
-            return self._finish(VerificationStatus.VERIFIED, budget, budget.nodes,
-                                lp_cache, bound=root_outcome.p_hat)
+            return CompletedRun(self._finish(
+                VerificationStatus.VERIFIED, budget, budget.nodes,
+                lp_cache, bound=root_outcome.p_hat))
         if root_outcome.falsified:
-            return self._finish(VerificationStatus.FALSIFIED, budget, budget.nodes,
-                                lp_cache, counterexample=root_outcome.candidate,
-                                bound=root_outcome.p_hat)
+            return CompletedRun(self._finish(
+                VerificationStatus.FALSIFIED, budget, budget.nodes,
+                lp_cache, counterexample=root_outcome.candidate,
+                bound=root_outcome.p_hat))
 
         # Stage 3: best-first BaB ordered by the bound (most violated first)
         # on the shared frontier engine, using the cheaper DeepPoly back-end
@@ -233,12 +285,7 @@ class AlphaBetaCrownVerifier(Verifier):
                                     root_outcome.p_hat,
                                     lp_fingerprint=lp_fingerprint)
         driver = FrontierDriver(sub_appver, self.frontier_size)
-        verdict = driver.run(source, budget)
-        return self._finish(verdict.status, budget, budget.nodes, lp_cache,
-                            counterexample=verdict.counterexample,
-                            bound=verdict.bound, lp_leaves=source.lp_leaves,
-                            appver=sub_appver,
-                            attached_by_stage=dict(driver.attached_by_stage))
+        return _AlphaBetaRun(self, budget, lp_cache, source, driver, sub_appver)
 
     # -- helpers ---------------------------------------------------------------
     def _finish(self, status: VerificationStatus, budget: Budget, nodes: int,

@@ -52,6 +52,7 @@ the same LP and a hit returns the identical optimum.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
@@ -145,15 +146,23 @@ class CacheStats:
 
 
 class BoundCache:
-    """A bounded LRU cache over layer and report entries."""
+    """A bounded LRU cache over layer and report entries.
+
+    Every public method holds an internal re-entrant lock for its whole
+    duration, so the LRU bookkeeping (lookup + ``move_to_end``, insert +
+    eviction sweep) and the matching stats updates are atomic and one cache
+    instance may be shared by concurrent workers.  Entries are immutable, so
+    locking the *operations* is all the safety a shared cache needs.
+    """
 
     def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
         require(max_entries >= 1, "max_entries must be positive")
         self.max_entries = int(max_entries)
         self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
-    # -- generic LRU plumbing -------------------------------------------------
+    # -- generic LRU plumbing (callers must hold ``_lock``) -------------------
     def _get(self, key: Hashable) -> Optional[object]:
         value = self._store.get(key)
         if value is not None:
@@ -173,16 +182,18 @@ class BoundCache:
 
     # -- substitution (per-layer) entries -------------------------------------
     def get_layer(self, layer: int, prefix_key: Tuple) -> Optional[SubstitutionEntry]:
-        entry = self._get(("layer", layer, prefix_key))
-        if entry is None:
-            self.stats.layer_misses += 1
-        else:
-            self.stats.layer_hits += 1
-        return entry
+        with self._lock:
+            entry = self._get(("layer", layer, prefix_key))
+            if entry is None:
+                self.stats.layer_misses += 1
+            else:
+                self.stats.layer_hits += 1
+            return entry
 
     def put_layer(self, layer: int, prefix_key: Tuple,
                   entry: SubstitutionEntry) -> None:
-        self._put(("layer", layer, prefix_key), entry)
+        with self._lock:
+            self._put(("layer", layer, prefix_key), entry)
 
     def peek_layer(self, layer: int, prefix_key: Tuple) -> Optional[SubstitutionEntry]:
         """Like :meth:`get_layer` but without touching the hit/miss counters.
@@ -191,26 +202,31 @@ class BoundCache:
         whether a rank-1 correction applies; a failed probe is not a cache
         miss of the sub-problem being analysed.
         """
-        return self._get(("layer", layer, prefix_key))
+        with self._lock:
+            return self._get(("layer", layer, prefix_key))
 
     # -- report entries -------------------------------------------------------
     def get_report(self, canonical_key: Tuple, with_spec: bool):
-        report = self._get(("report", canonical_key, with_spec))
-        if report is None:
-            self.stats.report_misses += 1
-        else:
-            self.stats.report_hits += 1
-        return report
+        with self._lock:
+            report = self._get(("report", canonical_key, with_spec))
+            if report is None:
+                self.stats.report_misses += 1
+            else:
+                self.stats.report_hits += 1
+            return report
 
     def put_report(self, canonical_key: Tuple, with_spec: bool, report) -> None:
-        self._put(("report", canonical_key, with_spec), report)
+        with self._lock:
+            self._put(("report", canonical_key, with_spec), report)
 
     # -- management -----------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 @dataclass
@@ -254,39 +270,61 @@ class LpCache:
     reached the solver through this cache (one per miss; each costs one LP
     per spec row internally), so ``hits / (hits + misses)`` and ``solves``
     make the cost of leaf resolution observable end to end.
+
+    As with :class:`BoundCache`, every public method is serialised by an
+    internal re-entrant lock, so a fingerprint-shared instance is safe under
+    concurrent workers and its counters never tear.
     """
 
     def __init__(self, max_entries: int = DEFAULT_LP_CACHE_SIZE) -> None:
         require(max_entries >= 1, "max_entries must be positive")
         self.max_entries = int(max_entries)
         self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = LpCacheStats()
 
     def get(self, canonical_key: Hashable) -> Optional[object]:
         """Look up a leaf's optimum; counts a hit or a miss."""
-        value = self._store.get(canonical_key)
-        if value is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-            self._store.move_to_end(canonical_key)
-        return value
+        with self._lock:
+            value = self._store.get(canonical_key)
+            if value is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+                self._store.move_to_end(canonical_key)
+            return value
 
     def put(self, canonical_key: Hashable, optimum: object) -> None:
         """Store a freshly solved optimum (LRU eviction beyond capacity)."""
-        if canonical_key in self._store:
-            self._store.move_to_end(canonical_key)
-        self._store[canonical_key] = optimum
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if canonical_key in self._store:
+                self._store.move_to_end(canonical_key)
+            self._store[canonical_key] = optimum
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
 
     def record_solve(self, count: int = 1) -> None:
         """Count ``count`` leaf resolutions dispatched to the solver."""
-        self.stats.solves += count
+        with self._lock:
+            self.stats.solves += count
+
+    def record_hit(self, count: int = 1) -> None:
+        """Count ``count`` reuses served without a store lookup.
+
+        The batch LP solver deduplicates identical leaves *within* one
+        batch by aliasing the first resolution's optimum; those aliases are
+        cache-level reuse and are recorded through this method instead of
+        callers mutating :attr:`stats` directly (which would race on a
+        shared cache).
+        """
+        with self._lock:
+            self.stats.hits += count
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()

@@ -817,13 +817,14 @@ class DeepPolyAnalyzer:
                                  candidate_input=candidate,
                                  infeasible=bool(infeasible[position]),
                                  method="deeppoly")
-            # With a usable parent delta the substitution entries subsume
-            # report reuse for the driver workload (a frontier never
-            # re-bounds a child it already expanded), so those children skip
-            # the per-child report memoisation; every other child — and the
-            # whole non-incremental path — keeps the PR-3 report puts, and
-            # lookups always check the store.
-            if use_cache and deltas[position] is None:
+            # Report entries are stored for every child, including those
+            # resolved through the parent delta: within one run the
+            # substitution entries subsume report reuse (a frontier never
+            # re-bounds a child it already expanded), but a *shared* cache
+            # outlives the run — the verification service replays identical
+            # jobs against it, and their children are report hits only if
+            # the first run stored them.
+            if use_cache:
                 cache.put_report(sub_canonicals[position], spec is not None,
                                  _copy_report(report))
             reports[index] = report

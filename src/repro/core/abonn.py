@@ -57,9 +57,11 @@ from repro.verifiers.milp import (
     solve_leaf_lp_batch,
 )
 from repro.verifiers.result import (
+    CompletedRun,
     VerificationResult,
     VerificationStatus,
     Verifier,
+    VerifierRun,
     make_budget,
 )
 
@@ -255,6 +257,51 @@ class MctsFrontierSource(WorkSource):
         return self.appver.evaluate(splits).p_hat
 
 
+class _AbonnRun(VerifierRun):
+    """A resumable ABONN run: one driver round per :meth:`step`.
+
+    Owned by :meth:`AbonnVerifier.start_run`; stepping it to completion is
+    byte-identical to :meth:`AbonnVerifier.verify` (which is implemented on
+    top of it) — the setup, per-round charges, and the terminal ``_finish``
+    mapping all run the same code.
+    """
+
+    def __init__(self, verifier: "AbonnVerifier", appver: ApproximateVerifier,
+                 source: MctsFrontierSource, driver: FrontierDriver,
+                 budget: Budget, lp_cache: LpCache) -> None:
+        self.verifier = verifier
+        self.appver = appver
+        self.source = source
+        self.driver = driver
+        self.budget = budget
+        self.lp_cache = lp_cache
+        self._run = driver.start(source, budget)
+        self._result: Optional[VerificationResult] = None
+
+    def _finish(self, verdict: DriverVerdict) -> VerificationResult:
+        return self.verifier._finish(
+            verdict.status, self.appver, self.budget, self.lp_cache,
+            counterexample=verdict.counterexample, bound=verdict.bound,
+            max_depth=self.source.max_depth, lp_leaves=self.source.lp_leaves,
+            attached_by_stage=dict(self.driver.attached_by_stage))
+
+    def step(self) -> Optional[VerificationResult]:
+        """Advance one frontier round; the final result once finished."""
+        if self._result is not None:
+            return self._result
+        verdict = self._run.step()
+        if verdict is None:
+            return None
+        self._result = self._finish(verdict)
+        return self._result
+
+    def interrupt(self) -> VerificationResult:
+        """Finish early with ABONN's budget-exhaustion (TIMEOUT) result."""
+        if self._result is None:
+            self._result = self._finish(self.source.timeout())
+        return self._result
+
+
 class AbonnVerifier(Verifier):
     """The paper's proposed verifier.
 
@@ -262,19 +309,24 @@ class AbonnVerifier(Verifier):
     verification problem* (the cache key is the leaf's canonical split
     assignment, which only identifies a sub-problem for a fixed network,
     input box and output spec); by default every run gets a fresh cache.
+    ``bound_cache`` likewise shares the split-aware bound cache across runs
+    on one problem (the verification service scopes both by the problem
+    fingerprint); it only applies while ``config.use_bound_cache`` is on.
     """
 
     name = "ABONN"
 
     def __init__(self, config: Optional[AbonnConfig] = None,
-                 lp_cache: Optional[LpCache] = None) -> None:
+                 lp_cache: Optional[LpCache] = None,
+                 bound_cache=None) -> None:
         self.config = config or AbonnConfig()
         self.lp_cache = lp_cache
+        self.bound_cache = bound_cache
 
     # -- public API -----------------------------------------------------------
-    def verify(self, network: Network, spec: Specification,
-               budget: Optional[Budget] = None) -> VerificationResult:
-        """Run Alg. 1 on the shared frontier engine until verdict or budget."""
+    def start_run(self, network: Network, spec: Specification,
+                  budget: Optional[Budget] = None) -> VerifierRun:
+        """Set up Alg. 1 and return a run preemptible at round boundaries."""
         config = self.config
         budget = make_budget(budget)
         appver = ApproximateVerifier(network, spec, config.bound_method,
@@ -282,7 +334,8 @@ class AbonnVerifier(Verifier):
                                      use_cache=config.use_bound_cache,
                                      cache_size=config.bound_cache_size,
                                      incremental=config.incremental,
-                                     cascade=config.cascade)
+                                     cascade=config.cascade,
+                                     bound_cache=self.bound_cache)
         heuristic = make_heuristic(config.heuristic)
         scorer = PotentialityScorer(max(appver.num_relu_neurons, 1), config.lam)
         lp_cache = self.lp_cache if self.lp_cache is not None else LpCache()
@@ -292,12 +345,14 @@ class AbonnVerifier(Verifier):
         budget.charge_node()
         scorer.observe(root_outcome.p_hat)
         if root_outcome.verified or root_outcome.report.infeasible:
-            return self._finish(VerificationStatus.VERIFIED, appver, budget,
-                                lp_cache, bound=root_outcome.p_hat, max_depth=0)
+            return CompletedRun(self._finish(
+                VerificationStatus.VERIFIED, appver, budget, lp_cache,
+                bound=root_outcome.p_hat, max_depth=0))
         if root_outcome.falsified:
-            return self._finish(VerificationStatus.FALSIFIED, appver, budget,
-                                lp_cache, counterexample=root_outcome.candidate,
-                                bound=root_outcome.p_hat, max_depth=0)
+            return CompletedRun(self._finish(
+                VerificationStatus.FALSIFIED, appver, budget, lp_cache,
+                counterexample=root_outcome.candidate,
+                bound=root_outcome.p_hat, max_depth=0))
 
         root = MctsNode(SplitAssignment.empty(), depth=0, outcome=root_outcome)
         root.reward = scorer.score(root_outcome.p_hat, False, 0)
@@ -316,12 +371,12 @@ class AbonnVerifier(Verifier):
                                     config, budget, lp_cache,
                                     lp_fingerprint=lp_fingerprint)
         driver = FrontierDriver(appver, config.frontier_size)
-        verdict = driver.run(source, budget)
-        return self._finish(verdict.status, appver, budget, lp_cache,
-                            counterexample=verdict.counterexample,
-                            bound=verdict.bound, max_depth=source.max_depth,
-                            lp_leaves=source.lp_leaves,
-                            attached_by_stage=dict(driver.attached_by_stage))
+        return _AbonnRun(self, appver, source, driver, budget, lp_cache)
+
+    def verify(self, network: Network, spec: Specification,
+               budget: Optional[Budget] = None) -> VerificationResult:
+        """Run Alg. 1 on the shared frontier engine until verdict or budget."""
+        return self.start_run(network, spec, budget).run_to_completion()
 
     # -- helpers ----------------------------------------------------------------
     def _make_child(self, parent: MctsNode, splits: SplitAssignment,

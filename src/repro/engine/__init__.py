@@ -8,6 +8,7 @@ describing where sub-problems come from and where their children go.  See
 """
 
 from repro.engine.driver import (
+    DriverRun,
     DriverVerdict,
     Expansion,
     FrontierDriver,
@@ -16,6 +17,7 @@ from repro.engine.driver import (
 )
 
 __all__ = [
+    "DriverRun",
     "DriverVerdict",
     "Expansion",
     "FrontierDriver",

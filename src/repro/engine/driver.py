@@ -289,6 +289,59 @@ class LinearWorkSource(WorkSource):
         """Undo a pop so the item is the next to be re-popped."""
 
 
+class DriverRun:
+    """A resumable :class:`FrontierDriver` run: one :meth:`step` per round.
+
+    The driver's main loop — check work, check the wall clock, execute one
+    gather → resolve → expand → attach round, consult ``round_complete`` —
+    is re-entrant at round boundaries, which is what lets a scheduler
+    multiplex many verification jobs over one process: each job advances one
+    round at a time and yields between rounds, with all budget accounting
+    (``affordable_phases``, per-child charges, wall-clock re-checks)
+    happening inside the round exactly as in an uninterrupted
+    :meth:`FrontierDriver.run`.  Stepping a run to completion is
+    byte-identical to calling ``run`` directly; ``run`` is itself
+    implemented as a step loop.
+    """
+
+    def __init__(self, driver: "FrontierDriver", source: WorkSource,
+                 budget: Budget) -> None:
+        self.driver = driver
+        self.source = source
+        self.budget = budget
+        self.rounds = 0
+        self._verdict: Optional[DriverVerdict] = None
+
+    @property
+    def verdict(self) -> Optional[DriverVerdict]:
+        """The terminal verdict, or ``None`` while the run is in progress."""
+        return self._verdict
+
+    def step(self) -> Optional[DriverVerdict]:
+        """Execute at most one driver round.
+
+        Returns the terminal :class:`DriverVerdict` once the run finishes
+        (and on every call thereafter), ``None`` while more rounds remain.
+        The order of checks — work, wall clock, round, ``round_complete`` —
+        is exactly the main loop's, so interleaving ``step`` calls of
+        several runs cannot change any single run's trajectory.
+        """
+        if self._verdict is not None:
+            return self._verdict
+        if not self.source.has_work():
+            self._verdict = self.source.drained()
+            return self._verdict
+        if self.budget.exhausted():
+            self._verdict = self.source.timeout()
+            return self._verdict
+        self.rounds += 1
+        verdict = self.driver._round(self.source, self.budget)
+        if verdict is None:
+            verdict = self.source.round_complete()
+        self._verdict = verdict
+        return verdict
+
+
 class FrontierDriver:
     """Runs a :class:`WorkSource` to a verdict with frontier-wide batching.
 
@@ -316,17 +369,17 @@ class FrontierDriver:
         #: ``"exact"``); stays empty when outcomes carry no stage tag.
         self.attached_by_stage = Counter()
 
+    def start(self, source: WorkSource, budget: Budget) -> DriverRun:
+        """Begin a resumable run; the caller steps it one round at a time."""
+        return DriverRun(self, source, budget)
+
     def run(self, source: WorkSource, budget: Budget) -> DriverVerdict:
         """Drive ``source`` until a verdict: the shared main loop."""
-        while source.has_work():
-            if budget.exhausted():
-                return source.timeout()
-            verdict = self._round(source, budget)
-            if verdict is None:
-                verdict = source.round_complete()
+        run = self.start(source, budget)
+        while True:
+            verdict = run.step()
             if verdict is not None:
                 return verdict
-        return source.drained()
 
     # -- one gather → resolve → expand → attach round --------------------------
     def _round(self, source: WorkSource, budget: Budget) -> Optional[DriverVerdict]:

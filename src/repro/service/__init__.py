@@ -1,0 +1,20 @@
+"""Verification-as-a-service: a job scheduler over the frontier engine.
+
+See :mod:`repro.service.scheduler` for the scheduling policy and
+:mod:`repro.service.pool` for the fingerprint-scoped cache sharing model;
+``docs/SERVICE.md`` documents the subsystem end to end.
+"""
+
+from repro.service.jobs import JobError, JobRequest, JobResult
+from repro.service.pool import CacheBundle, FingerprintCachePool
+from repro.service.scheduler import ServiceConfig, VerificationService
+
+__all__ = [
+    "CacheBundle",
+    "FingerprintCachePool",
+    "JobError",
+    "JobRequest",
+    "JobResult",
+    "ServiceConfig",
+    "VerificationService",
+]

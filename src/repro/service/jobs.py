@@ -1,0 +1,93 @@
+"""Job descriptions and terminal job states of the verification service.
+
+A *job* is one ``(network, property, budget)`` verification request.  The
+scheduler multiplexes many jobs over a pool of cooperative workers, so the
+request carries the scheduling knobs (priority, deadline) alongside the
+problem itself, and the terminal :class:`JobResult` carries the service-level
+observability (latency, slice counts, per-job cache-reuse deltas) alongside
+the verifier's own :class:`~repro.verifiers.result.VerificationResult`.
+
+Failures are *data*, not exceptions: a worker raising mid-round, a poisoned
+cache entry, or a broken verifier factory produces a :class:`JobError` on
+that job's result while every other job in the pool keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.nn.network import Network
+from repro.specs.properties import Specification
+from repro.utils.timing import Budget
+from repro.verifiers.result import VerificationResult
+
+
+@dataclass
+class JobRequest:
+    """One verification request submitted to the service.
+
+    ``priority`` orders jobs *within a worker's queue* — larger runs sooner,
+    ties broken by submission order.  ``deadline_seconds`` is a wall-clock
+    allowance measured from submission; it is enforced at round boundaries
+    (the service never interrupts a round mid-flight), so a job can overrun
+    its deadline by at most one scheduling slice.  ``verifier_factory``
+    optionally overrides the service-wide factory for this job; it receives
+    the job's fingerprint-scoped cache bundle and must return a
+    :class:`~repro.verifiers.result.Verifier`.
+    """
+
+    network: Network
+    spec: Specification
+    budget: Optional[Budget] = None
+    priority: int = 0
+    deadline_seconds: Optional[float] = None
+    verifier_factory: Optional[Callable[[object], object]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured description of why one job failed.
+
+    ``kind`` is the exception class name, ``stage`` the scheduler stage it
+    escaped from (``"setup"`` — building the verifier or its run — or
+    ``"round"`` — stepping the run).  The error is confined to its job: the
+    pool, the other jobs, and (after quarantine) the caches stay healthy.
+    """
+
+    kind: str
+    message: str
+    stage: str
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (API responses, benchmark payloads)."""
+        return {"kind": self.kind, "message": self.message, "stage": self.stage}
+
+
+@dataclass
+class JobResult:
+    """Terminal state of one job: a result or a structured error.
+
+    Exactly one of ``result`` / ``error`` is set.  ``cache_stats`` holds the
+    *per-job deltas* of the fingerprint bundle's cache counters (lp/bound
+    hits, misses, solves …) accumulated over this job's slices — on a
+    shared bundle the cumulative counters in ``result.extras`` mix several
+    jobs' traffic, the deltas here do not.  ``deadline_exceeded`` marks a
+    TIMEOUT forced by the job's deadline rather than its own budget.
+    """
+
+    job_id: str
+    fingerprint: str
+    result: Optional[VerificationResult] = None
+    error: Optional[JobError] = None
+    slices: int = 0
+    wait_slices: int = 0
+    latency_seconds: float = 0.0
+    deadline_exceeded: bool = False
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a verification result (no error)."""
+        return self.error is None and self.result is not None

@@ -1,0 +1,129 @@
+"""Fingerprint-scoped cache bundles shared across service requests.
+
+Cache soundness in this codebase rests on one invariant: a
+:class:`~repro.bounds.cache.BoundCache` or the split-assignment keys of an
+:class:`~repro.bounds.cache.LpCache` are only meaningful for a fixed
+``(network, input box, output spec)`` triple.  The service therefore keys
+*all* cross-request reuse by :func:`~repro.verifiers.milp.problem_fingerprint`:
+
+* jobs with the **same** fingerprint share one :class:`CacheBundle` — their
+  leaf-LP optima and split-aware bound entries are interchangeable facts, so
+  a repeated request warm-starts from everything its predecessors computed;
+* jobs with **different** fingerprints get disjoint bundles and can never
+  observe one another's entries, by construction rather than by key
+  discipline inside a shared store.
+
+The pool also keeps a *warm-model* cache: the per-network weight digest that
+prefixes every fingerprint.  ``Network.lowered()`` already memoises the
+lowering per instance; the pool adds the digest memo (weakly keyed, so the
+pool never keeps a network alive) and thereby makes fingerprinting a
+many-property workload — a robustness sweep, a batch of labels on one model
+— cost one weight hash total instead of one per property.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.bounds.cache import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_LP_CACHE_SIZE,
+    BoundCache,
+    LpCache,
+)
+from repro.nn.network import Network
+from repro.specs.properties import Specification
+from repro.verifiers.milp import network_weights_digest, problem_fingerprint
+
+
+@dataclass
+class CacheBundle:
+    """The shared, fingerprint-scoped caches of one verification problem."""
+
+    fingerprint: str
+    lp_cache: LpCache = field(default_factory=LpCache)
+    bound_cache: BoundCache = field(default_factory=BoundCache)
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Flat counter snapshot (``lp_*`` / ``bound_*``) for delta accounting.
+
+        Only integer counters are included — derived ratios like
+        ``hit_rate`` do not difference meaningfully.
+        """
+        snapshot: Dict[str, int] = {}
+        for prefix, stats in (("lp", self.lp_cache.stats.as_dict()),
+                              ("bound", self.bound_cache.stats.as_dict())):
+            for key, value in stats.items():
+                if isinstance(value, int):
+                    snapshot[f"{prefix}_{key}"] = value
+        return snapshot
+
+    @staticmethod
+    def stats_delta(before: Dict[str, int],
+                    after: Dict[str, int]) -> Dict[str, int]:
+        """Per-job counter increments between two snapshots."""
+        return {key: after[key] - before.get(key, 0) for key in after}
+
+
+class FingerprintCachePool:
+    """Bundles per problem fingerprint, plus the warm-model digest memo."""
+
+    def __init__(self, lp_cache_size: int = DEFAULT_LP_CACHE_SIZE,
+                 bound_cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self.lp_cache_size = int(lp_cache_size)
+        self.bound_cache_size = int(bound_cache_size)
+        self._bundles: Dict[str, CacheBundle] = {}
+        self._digests: "weakref.WeakKeyDictionary[Network, str]" = (
+            weakref.WeakKeyDictionary())
+        self.model_cache_hits = 0
+        self.model_cache_misses = 0
+
+    # -- fingerprinting --------------------------------------------------------
+    def fingerprint_for(self, network: Network, spec: Specification) -> str:
+        """The problem fingerprint of ``(network, spec)``, digest-memoised."""
+        lowered = network.lowered()  # memoised on the network instance
+        digest = self._digests.get(network)
+        if digest is None:
+            self.model_cache_misses += 1
+            digest = network_weights_digest(lowered)
+            self._digests[network] = digest
+        else:
+            self.model_cache_hits += 1
+        return problem_fingerprint(lowered, spec.input_box, spec.output_spec,
+                                   weights_digest=digest)
+
+    # -- bundle management -----------------------------------------------------
+    def bundle(self, fingerprint: str) -> CacheBundle:
+        """The (created-on-demand) cache bundle of one fingerprint."""
+        found = self._bundles.get(fingerprint)
+        if found is None:
+            found = CacheBundle(fingerprint,
+                                lp_cache=LpCache(self.lp_cache_size),
+                                bound_cache=BoundCache(self.bound_cache_size))
+            self._bundles[fingerprint] = found
+        return found
+
+    def discard(self, fingerprint: str) -> bool:
+        """Quarantine a fingerprint: drop its bundle (recreated cold on demand).
+
+        Called when a job using the bundle failed — a mid-round exception
+        may have been *caused* by a poisoned entry, and entries are cheap to
+        recompute, so the service trades warm caches for certain isolation.
+        Returns whether a bundle existed.
+        """
+        return self._bundles.pop(fingerprint, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def stats(self) -> dict:
+        """Pool-level counters plus per-fingerprint cache stats."""
+        return {
+            "fingerprints": len(self._bundles),
+            "model_cache_hits": self.model_cache_hits,
+            "model_cache_misses": self.model_cache_misses,
+            "bundles": {fp: bundle.stats_snapshot()
+                        for fp, bundle in self._bundles.items()},
+        }

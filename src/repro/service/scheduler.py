@@ -1,0 +1,383 @@
+"""A cooperative verification service multiplexing jobs over driver workers.
+
+The service turns the library's verifiers into a batch/streaming facility:
+many ``(network, property, budget)`` jobs run interleaved in one process,
+preempted only at :class:`~repro.engine.driver.FrontierDriver` round
+boundaries (where the verifiers' ``affordable_phases`` budget accounting
+already makes stopping sound).  Scheduling is **cooperative and
+deterministic**: one job advances at a time, for ``rounds_per_slice`` rounds
+per slice, so every job's verdict, budget charges and counterexample are
+byte-identical to an uninterrupted solo run — multiplexing buys *reuse*, not
+races.
+
+Where the throughput comes from
+-------------------------------
+Jobs are sharded to workers by problem fingerprint, and every job on one
+fingerprint shares that fingerprint's :class:`~repro.service.pool.CacheBundle`
+(leaf-LP cache, split-aware bound cache) plus the pool-wide warm-model
+digest.  A workload that revisits problems — radius sweeps, repeated API
+queries, certification dashboards — therefore pays the expensive bound/LP
+work once and serves the repeats from cache; that, not parallelism, is the
+service's speedup (see ``benchmarks/bench_service.py``).
+
+Scheduling policy
+-----------------
+* **Sharding**: ``worker = int(fingerprint[:8], 16) % pool_size`` — jobs on
+  one problem land on one worker, keeping their cache traffic local and the
+  interleaving deterministic.
+* **Priority with bounded wait**: within a worker the highest-priority
+  pending job runs next (ties: submission order), but any job that has
+  waited ``max_wait_slices`` slices is served first (oldest submission
+  first) — between two slices of a job at most ``max_wait_slices`` slices
+  plus one per *older* pending job can go elsewhere, so an endless stream
+  of high-priority submissions can never starve it.
+* **Deadlines**: wall-clock from submission, checked at slice boundaries
+  (including before a job's first round); an expired job is interrupted via
+  its run's ``interrupt()`` (TIMEOUT with the best bound so far) and marked
+  ``deadline_exceeded``.
+* **Fault isolation**: an exception escaping a job's setup or a round is
+  captured as a structured :class:`~repro.service.jobs.JobError` on *that
+  job's* result; the fingerprint's cache bundle is quarantined (discarded)
+  in case a poisoned entry caused the failure, and every other job — on the
+  same worker or not — continues untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.bounds.cache import DEFAULT_CACHE_SIZE, DEFAULT_LP_CACHE_SIZE
+from repro.nn.network import Network
+from repro.service.jobs import JobError, JobRequest, JobResult
+from repro.service.pool import CacheBundle, FingerprintCachePool
+from repro.specs.properties import Specification
+from repro.utils.timing import Budget
+from repro.utils.validation import require
+from repro.verifiers.result import (
+    VerificationResult,
+    VerificationStatus,
+    VerifierRun,
+)
+
+
+def _default_verifier_factory(bundle: CacheBundle):
+    """Build the paper's verifier on the bundle's shared caches."""
+    # Imported lazily: ``repro.service`` initialises before ``repro.core``
+    # when the package is imported from scratch.
+    from repro.core.abonn import AbonnVerifier
+    return AbonnVerifier(lp_cache=bundle.lp_cache,
+                         bound_cache=bundle.bound_cache)
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the verification service (see the module docstring)."""
+
+    #: Number of cooperative workers jobs are sharded across.
+    pool_size: int = 2
+    #: Driver rounds one job advances per scheduling slice.
+    rounds_per_slice: int = 4
+    #: Slices a pending job may wait before it pre-empts higher priorities.
+    max_wait_slices: int = 8
+    #: Discard a fingerprint's cache bundle when a job on it fails.
+    quarantine_on_error: bool = True
+    #: Capacity of each fingerprint bundle's leaf-LP cache.
+    lp_cache_size: int = DEFAULT_LP_CACHE_SIZE
+    #: Capacity of each fingerprint bundle's bound cache.
+    bound_cache_size: int = DEFAULT_CACHE_SIZE
+
+    def __post_init__(self) -> None:
+        require(self.pool_size >= 1, "pool_size must be positive")
+        require(self.rounds_per_slice >= 1, "rounds_per_slice must be positive")
+        require(self.max_wait_slices >= 1, "max_wait_slices must be positive")
+
+
+@dataclass
+class _Job:
+    """Scheduler-internal job state."""
+
+    job_id: str
+    seq: int
+    request: JobRequest
+    fingerprint: str
+    worker: int
+    submitted_at: float
+    deadline_at: Optional[float]
+    run: Optional[VerifierRun] = None
+    wait: int = 0
+    total_wait: int = 0
+    slices: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    done: Optional[JobResult] = None
+
+
+class _Worker:
+    """One cooperative worker: a queue of jobs sharded to it."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.jobs: List[_Job] = []
+
+
+class VerificationService:
+    """Multiplex verification jobs over a pool of cooperative workers.
+
+    Batch use::
+
+        service = VerificationService(ServiceConfig(pool_size=4))
+        ids = [service.submit(network, spec) for spec in specs]
+        results = {r.job_id: r for r in service.as_completed()}
+
+    ``run_until_complete()`` drains everything and returns results in
+    submission order; :meth:`stream_results` is the submit-and-stream
+    convenience.  The service is single-threaded — callers drive it by
+    iterating :meth:`as_completed` (or calling :meth:`step` directly), and
+    determinism follows: the same submissions always produce the same
+    interleaving and the same results.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 verifier_factory: Optional[
+                     Callable[[CacheBundle], object]] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.verifier_factory = verifier_factory or _default_verifier_factory
+        self.pool = FingerprintCachePool(self.config.lp_cache_size,
+                                         self.config.bound_cache_size)
+        self._workers = [_Worker(i) for i in range(self.config.pool_size)]
+        self._jobs: Dict[str, _Job] = {}
+        self._next_seq = 0
+        self._next_worker = 0
+        self._slices = 0
+        self._failed = 0
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, network: Network, spec: Specification,
+               budget: Optional[Budget] = None, priority: int = 0,
+               deadline_seconds: Optional[float] = None,
+               verifier_factory: Optional[
+                   Callable[[CacheBundle], object]] = None,
+               metadata: Optional[dict] = None) -> str:
+        """Enqueue one job; returns its id (results carry it back)."""
+        request = JobRequest(network=network, spec=spec, budget=budget,
+                             priority=priority,
+                             deadline_seconds=deadline_seconds,
+                             verifier_factory=verifier_factory,
+                             metadata=dict(metadata or {}))
+        return self.submit_request(request)
+
+    def submit_request(self, request: JobRequest) -> str:
+        """Enqueue a prebuilt :class:`~repro.service.jobs.JobRequest`."""
+        require(request.deadline_seconds is None
+                or request.deadline_seconds > 0,
+                "deadline_seconds must be positive when given")
+        seq = self._next_seq
+        self._next_seq += 1
+        fingerprint = self.pool.fingerprint_for(request.network, request.spec)
+        now = time.monotonic()
+        job = _Job(
+            job_id=f"job-{seq}",
+            seq=seq,
+            request=request,
+            fingerprint=fingerprint,
+            worker=int(fingerprint[:8], 16) % self.config.pool_size,
+            submitted_at=now,
+            deadline_at=(None if request.deadline_seconds is None
+                         else now + request.deadline_seconds),
+        )
+        self._jobs[job.job_id] = job
+        self._workers[job.worker].jobs.append(job)
+        return job.job_id
+
+    def submit_many(self, requests: Iterable[JobRequest]) -> List[str]:
+        """Enqueue a batch of requests; returns their ids in order."""
+        return [self.submit_request(request) for request in requests]
+
+    # -- scheduling ------------------------------------------------------------
+    def has_pending(self) -> bool:
+        """Whether any submitted job has not finished yet."""
+        return any(worker.jobs for worker in self._workers)
+
+    def step(self) -> Optional[JobResult]:
+        """Run one scheduling slice; the finished job's result, if any.
+
+        Picks the next worker (round-robin over workers with pending jobs),
+        selects that worker's next job under the priority/bounded-wait
+        policy, and advances it up to ``rounds_per_slice`` driver rounds.
+        Returns ``None`` while the job needs more slices (or no work is
+        pending).
+        """
+        worker = self._pick_worker()
+        if worker is None:
+            return None
+        job = self._pick_job(worker)
+        for other in worker.jobs:
+            if other is not job:
+                other.wait += 1
+                other.total_wait += 1
+        job.wait = 0
+        return self._run_slice(worker, job)
+
+    def as_completed(self) -> Iterator[JobResult]:
+        """Drive the service, yielding each job's result as it finishes."""
+        while self.has_pending():
+            finished = self.step()
+            if finished is not None:
+                yield finished
+
+    def run_until_complete(self) -> List[JobResult]:
+        """Drain every pending job; results in submission order."""
+        for _ in self.as_completed():
+            pass
+        return sorted((job.done for job in self._jobs.values()
+                       if job.done is not None),
+                      key=lambda r: self._jobs[r.job_id].seq)
+
+    def stream_results(self,
+                       requests: Iterable[JobRequest]) -> Iterator[JobResult]:
+        """Submit ``requests`` and stream results in completion order.
+
+        Any jobs already pending when the stream starts are driven (and
+        yielded) too — the stream simply drains the whole service.
+        """
+        self.submit_many(requests)
+        return self.as_completed()
+
+    # -- results & stats -------------------------------------------------------
+    def result(self, job_id: str) -> Optional[JobResult]:
+        """The finished result of ``job_id`` (``None`` while running)."""
+        return self._jobs[job_id].done
+
+    def stats(self) -> dict:
+        """Service-level counters: jobs, slices, pool/cache stats."""
+        done = sum(1 for job in self._jobs.values() if job.done is not None)
+        return {
+            "jobs_submitted": len(self._jobs),
+            "jobs_completed": done,
+            "jobs_failed": self._failed,
+            "slices": self._slices,
+            "pool_size": self.config.pool_size,
+            "pool": self.pool.stats(),
+        }
+
+    # -- internals -------------------------------------------------------------
+    def _pick_worker(self) -> Optional[_Worker]:
+        for offset in range(len(self._workers)):
+            worker = self._workers[(self._next_worker + offset)
+                                   % len(self._workers)]
+            if worker.jobs:
+                self._next_worker = (worker.index + 1) % len(self._workers)
+                return worker
+        return None
+
+    def _pick_job(self, worker: _Worker) -> _Job:
+        # Starved jobs are served in submission order, *not* largest-wait
+        # first: under a continuous stream of submissions every pending job
+        # is eventually starved, and largest-wait-first then degenerates to
+        # round-robin over an ever-growing queue — the oldest job's share of
+        # service shrinks toward zero.  FIFO over the starved set bounds any
+        # job's gap between slices by max_wait_slices plus one slice per
+        # *older* pending job, a set that never grows after submission.
+        starved = [job for job in worker.jobs
+                   if job.wait >= self.config.max_wait_slices]
+        if starved:
+            return min(starved, key=lambda job: job.seq)
+        return max(worker.jobs,
+                   key=lambda job: (job.request.priority, -job.seq))
+
+    def _deadline_passed(self, job: _Job) -> bool:
+        return (job.deadline_at is not None
+                and time.monotonic() >= job.deadline_at)
+
+    def _run_slice(self, worker: _Worker, job: _Job) -> Optional[JobResult]:
+        self._slices += 1
+        job.slices += 1
+        bundle = self.pool.bundle(job.fingerprint)
+        before = bundle.stats_snapshot()
+        result: Optional[VerificationResult] = None
+        error: Optional[JobError] = None
+        deadline_exceeded = False
+        try:
+            if self._deadline_passed(job):
+                result = self._expire(job)
+                deadline_exceeded = True
+            else:
+                if job.run is None:
+                    factory = (job.request.verifier_factory
+                               or self.verifier_factory)
+                    try:
+                        verifier = factory(bundle)
+                        job.run = verifier.start_run(job.request.network,
+                                                     job.request.spec,
+                                                     job.request.budget)
+                    except Exception as exc:  # noqa: BLE001 - isolation boundary
+                        error = JobError(type(exc).__name__, str(exc), "setup")
+                if error is None:
+                    for _ in range(self.config.rounds_per_slice):
+                        try:
+                            result = job.run.step()
+                        except Exception as exc:  # noqa: BLE001 - isolation boundary
+                            error = JobError(type(exc).__name__, str(exc),
+                                             "round")
+                            break
+                        if result is not None:
+                            break
+                        if self._deadline_passed(job):
+                            result = self._expire(job)
+                            deadline_exceeded = True
+                            break
+        finally:
+            delta = CacheBundle.stats_delta(before, bundle.stats_snapshot())
+            for key, value in delta.items():
+                job.cache_stats[key] = job.cache_stats.get(key, 0) + value
+        if error is not None:
+            return self._fail(worker, job, error)
+        if result is not None:
+            return self._complete(worker, job, result, deadline_exceeded)
+        return None
+
+    def _expire(self, job: _Job) -> VerificationResult:
+        """Force a deadline TIMEOUT (interrupt, or synthesise pre-start)."""
+        result = job.run.interrupt() if job.run is not None else None
+        if result is None:
+            result = VerificationResult(
+                status=VerificationStatus.TIMEOUT, verifier="service",
+                elapsed_seconds=time.monotonic() - job.submitted_at)
+        return result
+
+    def _finish_job(self, worker: _Worker, job: _Job,
+                    done: JobResult) -> JobResult:
+        worker.jobs.remove(job)
+        job.done = done
+        return done
+
+    def _complete(self, worker: _Worker, job: _Job,
+                  result: VerificationResult,
+                  deadline_exceeded: bool) -> JobResult:
+        done = JobResult(
+            job_id=job.job_id, fingerprint=job.fingerprint, result=result,
+            slices=job.slices, wait_slices=job.total_wait,
+            latency_seconds=time.monotonic() - job.submitted_at,
+            deadline_exceeded=deadline_exceeded,
+            cache_stats=dict(job.cache_stats))
+        result.extras["service"] = {
+            "job_id": done.job_id,
+            "fingerprint": done.fingerprint,
+            "slices": done.slices,
+            "wait_slices": done.wait_slices,
+            "deadline_exceeded": done.deadline_exceeded,
+            "cache_stats": done.cache_stats,
+        }
+        return self._finish_job(worker, job, done)
+
+    def _fail(self, worker: _Worker, job: _Job, error: JobError) -> JobResult:
+        self._failed += 1
+        if self.config.quarantine_on_error:
+            self.pool.discard(job.fingerprint)
+        done = JobResult(
+            job_id=job.job_id, fingerprint=job.fingerprint, error=error,
+            slices=job.slices, wait_slices=job.total_wait,
+            latency_seconds=time.monotonic() - job.submitted_at,
+            cache_stats=dict(job.cache_stats))
+        return self._finish_job(worker, job, done)

@@ -5,6 +5,7 @@ from repro.specs.robustness import (
     local_robustness_spec,
     robustness_output_spec,
     robustness_radius_sweep,
+    robustness_radius_sweep_service,
 )
 from repro.specs.vnnlib import (
     ParsedVnnLib,
@@ -22,6 +23,7 @@ __all__ = [
     "local_robustness_spec",
     "robustness_output_spec",
     "robustness_radius_sweep",
+    "robustness_radius_sweep_service",
     "ParsedVnnLib",
     "VnnLibError",
     "load_vnnlib",

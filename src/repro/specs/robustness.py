@@ -111,3 +111,54 @@ def robustness_radius_sweep(make_verifier: Callable[[LpCache], object],
         results.append((float(epsilon),
                         verifier.verify(network, spec, run_budget)))
     return results, cache
+
+
+def robustness_radius_sweep_service(network, reference: np.ndarray,
+                                    epsilons: Sequence[float], label: int,
+                                    num_classes: int,
+                                    budget=None,
+                                    service=None,
+                                    priority: int = 0,
+                                    deadline_seconds: Optional[float] = None,
+                                    target: Optional[int] = None,
+                                    domain_lower: float = 0.0,
+                                    domain_upper: float = 1.0):
+    """Run a radius sweep through the verification service.
+
+    The service generalises :func:`robustness_radius_sweep`: each epsilon
+    becomes one job, sharded and cached by problem fingerprint, so repeated
+    epsilons (bisection revisits, concurrent sweeps over one model) reuse
+    each other's leaf-LP and bound work and the whole sweep shares one
+    warm-model digest.  ``service`` accepts an existing
+    :class:`~repro.service.scheduler.VerificationService` (jobs join its
+    pool and caches); by default a fresh one is built.  Failed jobs raise —
+    a sweep has no meaningful partial answer.  Returns the per-epsilon
+    ``(epsilon, VerificationResult)`` pairs in input order plus the
+    service, whose ``stats()`` expose the cross-request reuse.
+    """
+    require(len(epsilons) > 0, "epsilons must be non-empty")
+    # Imported lazily: ``repro.service`` sits above the verifiers, which
+    # import this module — a top-level import would be circular.
+    from repro.service import VerificationService
+
+    if service is None:
+        service = VerificationService()
+    job_ids = []
+    for epsilon in epsilons:
+        spec = local_robustness_spec(reference, float(epsilon), label,
+                                     num_classes, target=target,
+                                     domain_lower=domain_lower,
+                                     domain_upper=domain_upper)
+        run_budget = budget.copy().start() if budget is not None else None
+        job_ids.append(service.submit(network, spec, budget=run_budget,
+                                      priority=priority,
+                                      deadline_seconds=deadline_seconds))
+    wanted = set(job_ids)
+    for job_result in service.as_completed():
+        if job_result.job_id in wanted and not job_result.ok:
+            raise RuntimeError(
+                f"sweep job {job_result.job_id} failed: {job_result.error}")
+    results: List[Tuple[float, object]] = []
+    for epsilon, job_id in zip(epsilons, job_ids):
+        results.append((float(epsilon), service.result(job_id).result))
+    return results, service

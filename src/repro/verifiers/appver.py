@@ -218,13 +218,23 @@ class ApproximateVerifier:
         Optional :class:`CascadeConfig` enabling the precision-cascade
         dispatcher inside :meth:`evaluate_batch`; ``None`` (the default)
         disables it and keeps the batched path byte-for-byte unchanged.
+    bound_cache:
+        Optional externally owned :class:`~repro.bounds.cache.BoundCache`
+        used instead of creating a fresh one — this is how the verification
+        service shares bound work *across* jobs on the same problem.  The
+        cache's soundness contract is the caller's responsibility: entries
+        are only valid for one fixed ``(network, input box, output spec)``
+        triple, so a shared instance must be scoped by problem fingerprint
+        (the service's per-fingerprint cache bundles guarantee exactly
+        that).  Ignored when ``use_cache`` is false.
     """
 
     def __init__(self, network: Network, spec: Specification, method: str = "deeppoly",
                  alpha_config: Optional[AlphaCrownConfig] = None,
                  use_cache: bool = True, cache_size: int = DEFAULT_CACHE_SIZE,
                  incremental: bool = True,
-                 cascade: Optional[CascadeConfig] = None) -> None:
+                 cascade: Optional[CascadeConfig] = None,
+                 bound_cache: Optional[BoundCache] = None) -> None:
         require(method in BOUND_METHODS,
                 f"unknown bound method {method!r}; choose one of {BOUND_METHODS}")
         self.network = network
@@ -237,8 +247,12 @@ class ApproximateVerifier:
                 "specification output dimension does not match the network")
         self._deeppoly = DeepPolyAnalyzer(self.lowered)
         self._alpha = AlphaCrownAnalyzer(self.lowered, alpha_config)
-        self.cache: Optional[BoundCache] = (BoundCache(cache_size) if use_cache
-                                            else None)
+        if not use_cache:
+            self.cache: Optional[BoundCache] = None
+        elif bound_cache is not None:
+            self.cache = bound_cache
+        else:
+            self.cache = BoundCache(cache_size)
         self.incremental = bool(incremental)
         self.cascade = cascade if cascade is not None else CascadeConfig()
         #: Children decided per cascade stage (``{stage: count}``).

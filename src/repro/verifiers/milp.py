@@ -295,8 +295,25 @@ def _solve(objective: np.ndarray, constant: float,
 # Batched, cached leaf-LP resolution
 # ---------------------------------------------------------------------------
 
+def network_weights_digest(network: LoweredNetwork) -> str:
+    """A stable digest over just the lowered weights and biases.
+
+    The verification service keys its warm-model cache on this digest so
+    many properties over one network (a robustness sweep, a batch of
+    labels) reuse one lowering; :func:`problem_fingerprint` accepts it as a
+    precomputed prefix to avoid re-hashing the (large) weight arrays per
+    property.
+    """
+    digest = hashlib.sha256()
+    for weight, bias in zip(network.weights, network.biases):
+        digest.update(np.ascontiguousarray(weight, dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(bias, dtype=float).tobytes())
+    return digest.hexdigest()
+
+
 def problem_fingerprint(network: LoweredNetwork, box: InputBox,
-                        spec: LinearOutputSpec) -> str:
+                        spec: LinearOutputSpec,
+                        weights_digest: Optional[str] = None) -> str:
     """A stable digest identifying one verification problem.
 
     Hashes the lowered weights/biases, the input box and the output-spec
@@ -305,11 +322,15 @@ def problem_fingerprint(network: LoweredNetwork, box: InputBox,
     :class:`~repro.bounds.cache.LpCache` keys so one cache instance can be
     shared across runs *and* across problems (e.g. a robustness-radius
     sweep) without unsound cross-problem hits.
+
+    ``weights_digest`` optionally supplies the network's precomputed
+    :func:`network_weights_digest`, skipping the per-call weight hashing;
+    it MUST be the digest of ``network`` or fingerprints collide.
     """
     digest = hashlib.sha256()
-    for weight, bias in zip(network.weights, network.biases):
-        digest.update(np.ascontiguousarray(weight, dtype=float).tobytes())
-        digest.update(np.ascontiguousarray(bias, dtype=float).tobytes())
+    if weights_digest is None:
+        weights_digest = network_weights_digest(network)
+    digest.update(weights_digest.encode("ascii"))
     digest.update(np.ascontiguousarray(box.lower, dtype=float).tobytes())
     digest.update(np.ascontiguousarray(box.upper, dtype=float).tobytes())
     digest.update(np.ascontiguousarray(spec.coefficients, dtype=float).tobytes())
@@ -580,7 +601,7 @@ def solve_leaf_lp_batch(network: LoweredNetwork, box: InputBox,
         if primary is not None:
             # An identical leaf earlier in this batch: reuse its optimum.
             if cache is not None:
-                cache.stats.hits += 1
+                cache.record_hit()
             aliases.append((index, primary))
             continue
         if cache is not None:

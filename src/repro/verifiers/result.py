@@ -64,6 +64,83 @@ class VerificationResult:
         return ", ".join(parts)
 
 
+class VerifierRun:
+    """A resumable verification run, preemptible at round boundaries.
+
+    The verification service multiplexes many jobs over one process by
+    advancing each job's run a few :class:`~repro.engine.driver.FrontierDriver`
+    rounds at a time.  A run's contract:
+
+    * :meth:`step` executes at most one unit of work (one driver round for
+      the engine-backed verifiers) and returns the final
+      :class:`VerificationResult` once the run finished, ``None`` while more
+      work remains.  Stepping a run to completion produces exactly the
+      result one uninterrupted ``verify`` call would.
+    * :meth:`interrupt` finishes the run early with the verifier's budget-
+      exhaustion result (a TIMEOUT), or returns ``None`` when the run
+      cannot be interrupted (monolithic fallback runs); the deadline
+      enforcement of the service is built on it.
+    """
+
+    def step(self) -> Optional[VerificationResult]:
+        """Advance one round; the final result once finished, else ``None``."""
+        raise NotImplementedError
+
+    def interrupt(self) -> Optional[VerificationResult]:
+        """Finish early with a TIMEOUT result (``None`` if unsupported)."""
+        return None
+
+    def run_to_completion(self) -> VerificationResult:
+        """Step until the run finishes and return its result."""
+        while True:
+            result = self.step()
+            if result is not None:
+                return result
+
+
+class CompletedRun(VerifierRun):
+    """A run that settled during setup (e.g. the root bound decided it)."""
+
+    def __init__(self, result: VerificationResult) -> None:
+        self.result = result
+
+    def step(self) -> VerificationResult:
+        """Return the precomputed result."""
+        return self.result
+
+    def interrupt(self) -> VerificationResult:
+        """The run is already finished; interrupting changes nothing."""
+        return self.result
+
+
+class MonolithicRun(VerifierRun):
+    """Fallback run for verifiers without a resumable ``start_run``.
+
+    The whole ``verify`` call executes inside the first :meth:`step`, so the
+    job occupies its worker for one indivisible slice; :meth:`interrupt`
+    stays unsupported (returns ``None``) before that slice completes.
+    """
+
+    def __init__(self, verifier: "Verifier", network: Network,
+                 spec: Specification, budget: Optional[Budget] = None) -> None:
+        self.verifier = verifier
+        self.network = network
+        self.spec = spec
+        self.budget = budget
+        self._result: Optional[VerificationResult] = None
+
+    def step(self) -> VerificationResult:
+        """Run ``verify`` to completion (first call) and return its result."""
+        if self._result is None:
+            self._result = self.verifier.verify(self.network, self.spec,
+                                                self.budget)
+        return self._result
+
+    def interrupt(self) -> Optional[VerificationResult]:
+        """Only an already-finished monolithic run can be 'interrupted'."""
+        return self._result
+
+
 class Verifier:
     """Common interface of every complete verifier in the library."""
 
@@ -74,6 +151,18 @@ class Verifier:
                budget: Optional[Budget] = None) -> VerificationResult:
         """Decide whether ``network`` satisfies ``spec`` within ``budget``."""
         raise NotImplementedError
+
+    def start_run(self, network: Network, spec: Specification,
+                  budget: Optional[Budget] = None) -> VerifierRun:
+        """Begin a (possibly resumable) verification run.
+
+        The engine-backed verifiers override this with a run that is
+        preemptible at :class:`~repro.engine.driver.FrontierDriver` round
+        boundaries; the default wraps :meth:`verify` in a
+        :class:`MonolithicRun` so every verifier can serve as a job backend
+        of the verification service.
+        """
+        return MonolithicRun(self, network, spec, budget)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

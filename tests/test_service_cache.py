@@ -1,0 +1,183 @@
+"""Cross-request cache reuse and isolation in the verification service.
+
+The service's speedup is reuse, not parallelism: jobs sharing a problem
+fingerprint share one :class:`~repro.service.pool.CacheBundle`, so a repeat
+job serves its bound passes and leaf LPs from the warm bundle.  These tests
+pin the contract in both directions — same fingerprint ⇒ observable nonzero
+hit deltas on the repeat (and results equal to a cold solo run), different
+fingerprints ⇒ disjoint bundles and a cold second job — plus the
+thread-safety of the shared caches' counters under concurrent hammering.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.bounds.cache import BoundCache, LpCache
+from repro.core.abonn import AbonnVerifier
+from repro.nn import dense_network
+from repro.service import ServiceConfig, VerificationService
+from repro.utils import Budget
+
+from conftest import make_robustness_problem
+
+BUDGET_NODES = 60
+
+
+def _problem(seed, shape, reference, epsilon):
+    network = dense_network(shape, seed=seed)
+    return network, make_robustness_problem(network, reference, epsilon)
+
+
+#: Branches (~13 nodes) and resolves leaf LPs within BUDGET_NODES, so a
+#: warm repeat observes both bound-report hits and leaf-LP hits.
+PROBLEM_LP = _problem(1, [6, 10, 8, 4], [0.5] * 6, 0.1)
+PROBLEM_OTHER = _problem(3, [3, 8, 8, 3], [0.4, 0.6, 0.5], 0.12)
+
+
+def _solo(problem):
+    network, spec = problem
+    return AbonnVerifier().verify(network, spec,
+                                  Budget(max_nodes=BUDGET_NODES))
+
+
+def _assert_identical(result, solo) -> None:
+    assert result.status == solo.status
+    assert result.nodes_explored == solo.nodes_explored
+    assert result.tree_size == solo.tree_size
+    if solo.counterexample is None:
+        assert result.counterexample is None
+    else:
+        assert result.counterexample.tobytes() == solo.counterexample.tobytes()
+
+
+class TestSameFingerprintReuse:
+    def test_repeat_job_hits_the_shared_bundle(self):
+        service = VerificationService(ServiceConfig(pool_size=1))
+        first = service.submit(*PROBLEM_LP,
+                               budget=Budget(max_nodes=BUDGET_NODES))
+        second = service.submit(*PROBLEM_LP,
+                                budget=Budget(max_nodes=BUDGET_NODES))
+        results = {done.job_id: done for done in service.as_completed()}
+        assert len(service.pool) == 1  # one fingerprint, one bundle
+
+        cold, warm = results[first], results[second]
+        assert cold.ok and warm.ok
+        # The repeat serves its bound reports and leaf LPs from the bundle
+        # the first job filled.
+        assert warm.cache_stats["bound_report_hits"] > 0
+        assert warm.cache_stats["lp_hits"] > 0
+        assert warm.cache_stats["lp_solves"] == 0
+        # Per-job deltas are mirrored into the result's extras block.
+        service_extras = warm.result.extras["service"]
+        assert service_extras["cache_stats"] == warm.cache_stats
+        assert service_extras["fingerprint"] == warm.fingerprint
+
+        # Warm-model memo: the second fingerprint lookup reused the digest.
+        assert service.pool.model_cache_hits > 0
+
+    def test_shared_cache_results_equal_cold_solo_results(self):
+        """Hits return exactly what recomputation would have produced."""
+        solo = _solo(PROBLEM_LP)
+        service = VerificationService(ServiceConfig(pool_size=1))
+        for _ in range(3):
+            service.submit(*PROBLEM_LP, budget=Budget(max_nodes=BUDGET_NODES))
+        for done in service.as_completed():
+            assert done.ok
+            _assert_identical(done.result, solo)
+
+
+class TestFingerprintIsolation:
+    def test_different_fingerprints_get_disjoint_bundles(self):
+        service = VerificationService(ServiceConfig(pool_size=1))
+        first = service.submit(*PROBLEM_LP,
+                               budget=Budget(max_nodes=BUDGET_NODES))
+        other = service.submit(*PROBLEM_OTHER,
+                               budget=Budget(max_nodes=BUDGET_NODES))
+        results = {done.job_id: done for done in service.as_completed()}
+
+        assert len(service.pool) == 2
+        a, b = results[first], results[other]
+        assert a.fingerprint != b.fingerprint
+        bundle_a = service.pool.bundle(a.fingerprint)
+        bundle_b = service.pool.bundle(b.fingerprint)
+        assert bundle_a is not bundle_b
+        assert bundle_a.lp_cache is not bundle_b.lp_cache
+        assert bundle_a.bound_cache is not bundle_b.bound_cache
+
+        # The second job ran cold: nothing of the first problem's traffic
+        # was visible to it.
+        assert b.cache_stats["bound_report_hits"] == 0
+        assert b.cache_stats["lp_hits"] == 0
+
+    def test_epsilon_change_changes_the_fingerprint(self):
+        network, _ = PROBLEM_LP
+        spec_small = make_robustness_problem(network, [0.5] * 6, 0.1)
+        spec_large = make_robustness_problem(network, [0.5] * 6, 0.2)
+        service = VerificationService()
+        fp_small = service.pool.fingerprint_for(network, spec_small)
+        fp_large = service.pool.fingerprint_for(network, spec_large)
+        assert fp_small != fp_large
+        # Same network though: the weight digest was computed exactly once.
+        assert service.pool.model_cache_misses == 1
+        assert service.pool.model_cache_hits == 1
+
+
+class TestCacheThreadSafety:
+    """The shared caches' counters stay exact under concurrent access.
+
+    The service itself is single-threaded, but the bundles are documented as
+    safe to share (``cache.py`` serialises all public methods behind a
+    lock); these hammers would lose counter increments and corrupt the LRU
+    under the pre-lock implementation.
+    """
+
+    def test_lp_cache_counters_exact_under_threads(self):
+        cache = LpCache(max_entries=64)
+        threads, per_thread = 8, 400
+
+        def hammer(tid: int) -> None:
+            for i in range(per_thread):
+                key = ("k", (tid + i) % 48)  # fits: every lookup can hit
+                if cache.get(key) is None:
+                    cache.put(key, object())
+                    cache.record_solve()
+                cache.record_hit()  # the batch-alias path
+
+        workers = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+        total = threads * per_thread
+        # One get + one record_hit per iteration; every counter is exact.
+        assert cache.stats.hits + cache.stats.misses == 2 * total
+        assert cache.stats.hits >= total
+        assert cache.stats.solves == cache.stats.misses
+        assert len(cache) <= 64
+
+    def test_bound_cache_counters_exact_under_threads(self):
+        cache = BoundCache(max_entries=128)
+        threads, per_thread = 8, 400
+
+        def hammer(tid: int) -> None:
+            for i in range(per_thread):
+                key = (("layer", (tid + i) % 64),)
+                if cache.get_report(key, True) is None:
+                    cache.put_report(key, True, {"tid": tid})
+
+        workers = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+        stats = cache.stats
+        total = threads * per_thread
+        assert stats.report_hits + stats.report_misses == total
+        assert len(cache) <= 128

@@ -1,0 +1,222 @@
+"""Fault injection against the verification service.
+
+Failures are data, not crashes: a worker raising mid-round, a verifier
+factory that cannot even build, a budget exhausting between siblings, or a
+poisoned shared-cache entry must fail *only the job that hit it* — with a
+structured :class:`~repro.service.jobs.JobError` naming the stage — while
+every other job in the pool finishes solo-identical and the fingerprint's
+cache bundle is quarantined so the poison cannot outlive the job it broke.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.splits import SplitAssignment
+from repro.core.abonn import AbonnVerifier
+from repro.nn import dense_network
+from repro.service import ServiceConfig, VerificationService
+from repro.utils import Budget
+from repro.verifiers.result import VerificationStatus, VerifierRun
+
+from conftest import make_robustness_problem
+
+BUDGET_NODES = 60
+
+
+def _problem(seed, shape, reference, epsilon):
+    network = dense_network(shape, seed=seed)
+    return network, make_robustness_problem(network, reference, epsilon)
+
+
+PROBLEM_A = _problem(1, [4, 8, 6, 3], [0.45, 0.55, 0.5, 0.4], 0.08)
+PROBLEM_B = _problem(3, [3, 8, 8, 3], [0.4, 0.6, 0.5], 0.12)
+#: Verified only after ~13 nodes of branching — tiny budgets exhaust it
+#: mid-expansion (odd ``nodes_explored``: between the siblings of a pair).
+PROBLEM_BRANCHING = _problem(1, [6, 10, 8, 4], [0.5] * 6, 0.1)
+
+
+def _solo(problem, budget_nodes=BUDGET_NODES):
+    network, spec = problem
+    return AbonnVerifier().verify(network, spec,
+                                  Budget(max_nodes=budget_nodes))
+
+
+SOLO_A = _solo(PROBLEM_A)
+SOLO_B = _solo(PROBLEM_B)
+
+
+def _assert_identical(result, solo) -> None:
+    assert result.status == solo.status
+    assert result.nodes_explored == solo.nodes_explored
+    assert result.tree_size == solo.tree_size
+    if solo.counterexample is None:
+        assert result.counterexample is None
+    else:
+        assert result.counterexample.tobytes() == solo.counterexample.tobytes()
+
+
+class _ExplodingRun(VerifierRun):
+    """A run that survives a few rounds, then raises mid-round."""
+
+    def __init__(self, rounds_before_failure: int) -> None:
+        self.remaining = rounds_before_failure
+
+    def step(self):
+        if self.remaining == 0:
+            raise RuntimeError("injected mid-round failure")
+        self.remaining -= 1
+        return None
+
+    def interrupt(self):
+        return None
+
+
+class _ExplodingVerifier:
+    def __init__(self, rounds_before_failure: int) -> None:
+        self.rounds_before_failure = rounds_before_failure
+
+    def start_run(self, network, spec, budget=None):
+        return _ExplodingRun(self.rounds_before_failure)
+
+
+class TestRoundFailure:
+    def test_mid_round_exception_fails_only_that_job(self):
+        service = VerificationService(ServiceConfig(pool_size=2,
+                                                    rounds_per_slice=1))
+        bad = service.submit(
+            *PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES),
+            verifier_factory=lambda bundle: _ExplodingVerifier(3))
+        good_same = service.submit(*PROBLEM_A,
+                                   budget=Budget(max_nodes=BUDGET_NODES))
+        good_other = service.submit(*PROBLEM_B,
+                                    budget=Budget(max_nodes=BUDGET_NODES))
+        results = {done.job_id: done for done in service.as_completed()}
+        assert set(results) == {bad, good_same, good_other}
+
+        failed = results[bad]
+        assert not failed.ok
+        assert failed.result is None
+        assert failed.error.stage == "round"
+        assert failed.error.kind == "RuntimeError"
+        assert "injected" in failed.error.message
+        # The failure survived three rounds first, so it was mid-flight.
+        assert failed.slices >= 3
+
+        # Every other job — same fingerprint or not — is solo-identical.
+        assert results[good_same].ok
+        _assert_identical(results[good_same].result, SOLO_A)
+        assert results[good_other].ok
+        _assert_identical(results[good_other].result, SOLO_B)
+
+        stats = service.stats()
+        assert stats["jobs_failed"] == 1
+        assert stats["jobs_completed"] == 3
+
+
+class TestSetupFailure:
+    def test_broken_factory_fails_at_setup(self):
+        def broken_factory(bundle):
+            raise ValueError("no verifier for you")
+
+        service = VerificationService(ServiceConfig(pool_size=1))
+        bad = service.submit(*PROBLEM_A,
+                             budget=Budget(max_nodes=BUDGET_NODES),
+                             verifier_factory=broken_factory)
+        good = service.submit(*PROBLEM_A,
+                              budget=Budget(max_nodes=BUDGET_NODES))
+        results = {done.job_id: done for done in service.as_completed()}
+
+        failed = results[bad]
+        assert not failed.ok
+        assert failed.error.stage == "setup"
+        assert failed.error.kind == "ValueError"
+        assert failed.error.as_dict() == {
+            "kind": "ValueError",
+            "message": "no verifier for you",
+            "stage": "setup",
+        }
+        assert results[good].ok
+        _assert_identical(results[good].result, SOLO_A)
+
+
+class TestBudgetExhaustion:
+    @pytest.mark.parametrize("max_nodes", [2, 3, 5])
+    def test_exhaustion_between_siblings_matches_solo(self, max_nodes):
+        """A budget dying between siblings is a TIMEOUT, not a failure.
+
+        Tiny node budgets exhaust mid-expansion (after one sibling of a
+        pair, exercising the engine's partial-attach path); the service
+        must surface the same TIMEOUT the solo run produces, as a result —
+        never as a JobError.
+        """
+        solo = _solo(PROBLEM_BRANCHING, budget_nodes=max_nodes)
+        assert solo.status == VerificationStatus.TIMEOUT
+
+        service = VerificationService(ServiceConfig(pool_size=1,
+                                                    rounds_per_slice=1))
+        job_id = service.submit(*PROBLEM_BRANCHING,
+                                budget=Budget(max_nodes=max_nodes))
+        done = next(iter(service.as_completed()))
+        assert done.job_id == job_id
+        assert done.ok
+        assert not done.deadline_exceeded
+        _assert_identical(done.result, solo)
+
+
+class TestPoisonedCache:
+    def _poison(self, service, problem):
+        network, spec = problem
+        fingerprint = service.pool.fingerprint_for(network, spec)
+        bundle = service.pool.bundle(fingerprint)
+        # A truthy non-report value: any consumer blows up on first use.
+        root_key = SplitAssignment.empty().canonical_key()
+        bundle.bound_cache.put_report(root_key, True, "poison")
+        bundle.bound_cache.put_report(root_key, False, "poison")
+        return fingerprint, bundle
+
+    def test_poisoned_entry_fails_job_and_quarantines_bundle(self):
+        service = VerificationService(ServiceConfig(pool_size=2))
+        fingerprint, poisoned = self._poison(service, PROBLEM_A)
+
+        bad = service.submit(*PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES))
+        good = service.submit(*PROBLEM_B, budget=Budget(max_nodes=BUDGET_NODES))
+        results = {done.job_id: done for done in service.as_completed()}
+
+        failed = results[bad]
+        assert not failed.ok
+        # The root bound is computed while the run is being built, so the
+        # poison surfaces at the setup stage with the consumer's exception.
+        assert failed.error.stage == "setup"
+        assert failed.error.kind == "AttributeError"
+
+        # Only the job that read the poison failed; the other fingerprint
+        # never saw it.
+        assert results[good].ok
+        _assert_identical(results[good].result, SOLO_B)
+
+        # The poisoned bundle was quarantined: the fingerprint resolves to a
+        # fresh (cold, unpoisoned) bundle now.
+        fresh = service.pool.bundle(fingerprint)
+        assert fresh is not poisoned
+        root_key = SplitAssignment.empty().canonical_key()
+        assert fresh.bound_cache.peek_layer(0, ()) is None
+
+        # Resubmitting the same problem succeeds against the fresh bundle.
+        retry = service.submit(*PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES))
+        done = next(iter(service.as_completed()))
+        assert done.job_id == retry
+        assert done.ok
+        _assert_identical(done.result, SOLO_A)
+        assert service.stats()["jobs_failed"] == 1
+
+    def test_quarantine_can_be_disabled(self):
+        service = VerificationService(ServiceConfig(pool_size=1,
+                                                    quarantine_on_error=False))
+        fingerprint, poisoned = self._poison(service, PROBLEM_A)
+        service.submit(*PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES))
+        done = next(iter(service.as_completed()))
+        assert not done.ok
+        # With quarantine off the (still poisoned) bundle survives.
+        assert service.pool.bundle(fingerprint) is poisoned

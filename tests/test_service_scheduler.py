@@ -1,0 +1,246 @@
+"""Contract suite of the verification service scheduler.
+
+The service's core promise: multiplexing many jobs over one process never
+changes any job's answer.  The property-based tests here submit random job
+mixes (problems, priorities, pool sizes, slice lengths) and require every
+job's verdict, node charges, tree size, bound and counterexample to be
+byte-identical to a solo run of a fresh verifier on a fresh driver.  On
+top of that, the scheduling policy itself is pinned: priorities order work
+but never starve (bounded wait), and deadlines are honoured within one
+round's granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abonn import AbonnVerifier
+from repro.nn import dense_network
+from repro.service import JobRequest, ServiceConfig, VerificationService
+from repro.utils import Budget
+from repro.verifiers.result import VerificationStatus
+
+from conftest import make_robustness_problem
+
+#: Node-only budgets keep solo and multiplexed trajectories deterministic
+#: (wall-clock budgets would see the time spent preempted, as documented).
+BUDGET_NODES = 60
+
+
+def _problems():
+    """A small bank of distinct problems (distinct fingerprints)."""
+    bank = []
+    for seed, shape, reference, epsilon in (
+            (1, [4, 8, 6, 3], [0.45, 0.55, 0.5, 0.4], 0.08),
+            (1, [4, 8, 6, 3], [0.45, 0.55, 0.5, 0.4], 0.15),
+            (1, [6, 10, 8, 4], [0.5] * 6, 0.1),
+            (3, [3, 8, 8, 3], [0.4, 0.6, 0.5], 0.12),
+    ):
+        network = dense_network(shape, seed=seed)
+        bank.append((network, make_robustness_problem(network, reference,
+                                                      epsilon)))
+    return bank
+
+
+PROBLEMS = _problems()
+
+
+def _solo(problem_index: int):
+    network, spec = PROBLEMS[problem_index]
+    return AbonnVerifier().verify(network, spec, Budget(max_nodes=BUDGET_NODES))
+
+
+SOLO_RESULTS = [_solo(index) for index in range(len(PROBLEMS))]
+
+
+def _assert_identical(result, solo) -> None:
+    assert result.status == solo.status
+    assert result.nodes_explored == solo.nodes_explored
+    assert result.tree_size == solo.tree_size
+    if solo.bound is None:
+        assert result.bound is None
+    else:
+        assert result.bound == solo.bound
+    if solo.counterexample is None:
+        assert result.counterexample is None
+    else:
+        assert result.counterexample.tobytes() == solo.counterexample.tobytes()
+
+
+class TestSoloIdentical:
+    @settings(max_examples=20, deadline=None)
+    @given(jobs=st.lists(st.tuples(st.integers(0, len(PROBLEMS) - 1),
+                                   st.integers(-5, 5)),
+                         min_size=1, max_size=8),
+           pool_size=st.sampled_from((1, 2, 4)),
+           rounds_per_slice=st.integers(1, 6))
+    def test_random_mixes_match_solo_runs(self, jobs, pool_size,
+                                          rounds_per_slice):
+        """Any mix at any pool size: every verdict/charge/cex solo-identical."""
+        service = VerificationService(ServiceConfig(
+            pool_size=pool_size, rounds_per_slice=rounds_per_slice))
+        job_ids = []
+        for problem_index, priority in jobs:
+            network, spec = PROBLEMS[problem_index]
+            job_ids.append(service.submit(
+                network, spec, budget=Budget(max_nodes=BUDGET_NODES),
+                priority=priority))
+        completed = {done.job_id: done for done in service.as_completed()}
+        assert set(completed) == set(job_ids)
+        for (problem_index, _), job_id in zip(jobs, job_ids):
+            done = completed[job_id]
+            assert done.ok, f"job failed: {done.error}"
+            _assert_identical(done.result, SOLO_RESULTS[problem_index])
+
+    def test_run_until_complete_orders_by_submission(self):
+        service = VerificationService(ServiceConfig(pool_size=2))
+        network, spec = PROBLEMS[0]
+        ids = [service.submit(network, spec,
+                              budget=Budget(max_nodes=BUDGET_NODES),
+                              priority=priority)
+               for priority in (0, 9, 3)]
+        results = service.run_until_complete()
+        assert [done.job_id for done in results] == ids
+
+    def test_stream_results_accepts_requests(self):
+        service = VerificationService(ServiceConfig(pool_size=1))
+        network, spec = PROBLEMS[1]
+        requests = [JobRequest(network=network, spec=spec,
+                               budget=Budget(max_nodes=BUDGET_NODES))
+                    for _ in range(3)]
+        seen = list(service.stream_results(requests))
+        assert len(seen) == 3
+        for done in seen:
+            _assert_identical(done.result, SOLO_RESULTS[1])
+
+
+class TestBoundedWait:
+    def test_priorities_order_work_within_a_worker(self):
+        """With one worker, the high-priority job finishes first."""
+        service = VerificationService(ServiceConfig(pool_size=1,
+                                                    rounds_per_slice=1))
+        network, spec = PROBLEMS[0]
+        low = service.submit(network, spec,
+                             budget=Budget(max_nodes=BUDGET_NODES), priority=0)
+        high = service.submit(network, spec,
+                              budget=Budget(max_nodes=BUDGET_NODES), priority=5)
+        order = [done.job_id for done in service.as_completed()]
+        assert order.index(high) < order.index(low)
+
+    @settings(max_examples=10, deadline=None)
+    @given(max_wait=st.integers(1, 4), rivals=st.integers(2, 5))
+    def test_low_priority_job_is_never_starved(self, max_wait, rivals):
+        """A continuous stream of high-priority rivals cannot starve a job.
+
+        New rivals are injected every slice; the low-priority job must
+        still run within ``max_wait_slices`` slices of any point in time,
+        so it finishes long before the (endless) rival stream drains.
+        """
+        service = VerificationService(ServiceConfig(
+            pool_size=1, rounds_per_slice=1, max_wait_slices=max_wait))
+        network, spec = PROBLEMS[2]
+        low = service.submit(network, spec,
+                             budget=Budget(max_nodes=BUDGET_NODES), priority=0)
+        for _ in range(rivals):
+            service.submit(network, spec,
+                           budget=Budget(max_nodes=BUDGET_NODES), priority=10)
+        slices = 0
+        while service.result(low) is None:
+            # Keep the pressure on: one fresh high-priority rival per slice.
+            service.submit(network, spec,
+                           budget=Budget(max_nodes=BUDGET_NODES), priority=10)
+            service.step()
+            slices += 1
+            assert slices < 500, "low-priority job starved"
+        done = service.result(low)
+        assert done.ok
+        # Bounded wait: the low job is the oldest submission, so between two
+        # of its slices at most max_wait_slices slices go to rivals.
+        assert done.wait_slices <= done.slices * max_wait
+        _assert_identical(done.result, SOLO_RESULTS[2])
+
+
+class TestDeadlines:
+    def test_expired_deadline_times_out_within_one_slice(self):
+        service = VerificationService(ServiceConfig(pool_size=1))
+        network, spec = PROBLEMS[0]
+        job_id = service.submit(network, spec,
+                                budget=Budget(max_nodes=BUDGET_NODES),
+                                deadline_seconds=1e-9)
+        done = next(iter(service.as_completed()))
+        assert done.job_id == job_id
+        assert done.deadline_exceeded
+        assert done.result.status == VerificationStatus.TIMEOUT
+        assert done.slices == 1  # honoured before the first round
+
+    def test_generous_deadline_does_not_disturb_the_run(self):
+        service = VerificationService(ServiceConfig(pool_size=1))
+        network, spec = PROBLEMS[0]
+        job_id = service.submit(network, spec,
+                                budget=Budget(max_nodes=BUDGET_NODES),
+                                deadline_seconds=3600.0)
+        done = next(iter(service.as_completed()))
+        assert done.job_id == job_id
+        assert not done.deadline_exceeded
+        _assert_identical(done.result, SOLO_RESULTS[0])
+
+    def test_mid_run_deadline_interrupts_with_best_bound(self):
+        """A deadline that expires mid-run yields TIMEOUT with a bound."""
+        service = VerificationService(ServiceConfig(pool_size=1,
+                                                    rounds_per_slice=1))
+        network, spec = PROBLEMS[1]
+        job_id = service.submit(network, spec,
+                                budget=Budget(max_nodes=10_000),
+                                deadline_seconds=0.5)
+        while service.result(job_id) is None:
+            service.step()
+        done = service.result(job_id)
+        assert done.ok
+        if done.deadline_exceeded:
+            assert done.result.status == VerificationStatus.TIMEOUT
+
+    def test_invalid_deadline_rejected(self):
+        service = VerificationService()
+        network, spec = PROBLEMS[0]
+        with pytest.raises(ValueError):
+            service.submit(network, spec, deadline_seconds=0.0)
+
+
+class TestSchedulerPlumbing:
+    def test_step_without_work_returns_none(self):
+        service = VerificationService()
+        assert service.step() is None
+        assert not service.has_pending()
+
+    def test_result_raises_for_unknown_job(self):
+        service = VerificationService()
+        with pytest.raises(KeyError):
+            service.result("job-404")
+
+    def test_stats_counts_jobs_and_slices(self):
+        service = VerificationService(ServiceConfig(pool_size=2))
+        network, spec = PROBLEMS[0]
+        for _ in range(3):
+            service.submit(network, spec,
+                           budget=Budget(max_nodes=BUDGET_NODES))
+        service.run_until_complete()
+        stats = service.stats()
+        assert stats["jobs_submitted"] == 3
+        assert stats["jobs_completed"] == 3
+        assert stats["jobs_failed"] == 0
+        assert stats["slices"] >= 3
+        assert stats["pool"]["fingerprints"] == 1
+
+    def test_sharding_keeps_a_fingerprint_on_one_worker(self):
+        """Same fingerprint, same worker index at every pool size."""
+        network, spec = PROBLEMS[0]
+        for pool_size in (1, 2, 4):
+            service = VerificationService(ServiceConfig(pool_size=pool_size))
+            ids = [service.submit(network, spec,
+                                  budget=Budget(max_nodes=BUDGET_NODES))
+                   for _ in range(3)]
+            workers = {service._jobs[job_id].worker for job_id in ids}
+            assert len(workers) == 1
