@@ -9,15 +9,27 @@ calls) — and compares:
 * ``service`` — the same jobs multiplexed through one
   :class:`repro.service.VerificationService` at pool sizes {1, 2, 4},
   where jobs sharing a problem fingerprint share that fingerprint's
-  LP/bound cache bundle and the pool-wide warm-model digest.
+  LP/bound cache bundle and the pool-wide warm-model digest;
+* ``transports`` — a *multi-fingerprint* workload (distinct wide problems,
+  so jobs shard across all workers) run on each execution transport:
+  ``cooperative``, ``threaded`` (real worker threads; numpy's BLAS kernels
+  release the GIL, so distinct shards overlap on multi-core hosts) and
+  ``async`` (the asyncio front-end over the threaded pool).
 
-The service is cooperative and deterministic, so its speedup is *reuse*,
-not parallelism: repeat jobs serve their bound passes and leaf LPs from the
-warm fingerprint bundle.  Every job's verdict, node charges and
-counterexample are gated for equality with its sequential-cold run, and the
-report includes throughput (jobs/s and speedup over sequential), latency
-percentiles (p50/p95/p99 of per-job submit-to-finish wall time) and cache
-reuse rates (per-job LP/bound hit deltas).
+The cooperative service's speedup is *reuse*, not parallelism: repeat jobs
+serve their bound passes and leaf LPs from the warm fingerprint bundle.
+The threaded transport adds parallelism on top — its speedup over
+cooperative is reported per run together with ``cpu_count``, since it
+cannot exceed 1.0x on a single-core host.  Every job's verdict, node
+charges and counterexample are gated for equality with its sequential-cold
+run on *every* transport, and the report includes throughput (jobs/s and
+speedup over sequential), latency percentiles (p50/p95/p99 of per-job
+submit-to-finish wall time) and cache reuse rates (per-job LP/bound hit
+deltas).
+
+Job priorities are drawn from a per-job RNG seeded by the job *index*
+(:func:`_job_rng`), never from numpy's global state, so a threaded run is
+replayable bit-for-bit no matter what other code touched ``np.random``.
 
 Results are printed as JSON and written to
 ``benchmarks/output/BENCH_service.json``; the stable top-level ``summary``
@@ -29,6 +41,7 @@ workload for CI.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -41,7 +54,12 @@ import numpy as np
 from repro.core.abonn import AbonnVerifier
 from repro.nn import dense_network
 from repro.nn.zoo import MODEL_FAMILIES
-from repro.service import ServiceConfig, VerificationService
+from repro.service import (
+    AsyncVerificationService,
+    JobRequest,
+    ServiceConfig,
+    VerificationService,
+)
 from repro.specs.robustness import local_robustness_spec
 from repro.utils.timing import Budget
 from repro.verifiers.appver import ApproximateVerifier
@@ -51,6 +69,25 @@ OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_service.json"
 FULL_FAMILIES = ("MNIST_L2", "MNIST_L4")
 SMOKE_FAMILIES = ("MNIST_L2",)
 POOL_SIZES = (1, 2, 4)
+
+#: Execution transports compared on the multi-fingerprint workload.
+TRANSPORTS = ("cooperative", "threaded", "async")
+#: Workers for the transport comparison (jobs shard across all of them).
+TRANSPORT_POOL_SIZE = 4
+
+#: Root of every derived per-job seed (see :func:`_job_rng`).
+BENCH_SEED = 8
+
+
+def _job_rng(job_index: int) -> np.random.Generator:
+    """The RNG of job ``job_index`` — a pure function of the index.
+
+    Seeded from ``(BENCH_SEED, job_index)`` and *never* from numpy's global
+    state: two bench runs draw identical per-job values (priorities,
+    references) regardless of what other code did to ``np.random`` in
+    between, which is what makes threaded runs replayable.
+    """
+    return np.random.default_rng((BENCH_SEED, int(job_index)))
 
 
 def _smoke_mode(args: argparse.Namespace) -> bool:
@@ -191,6 +228,89 @@ def bench_service(jobs, max_nodes: int, pool_size: int,
     }
 
 
+def _wide_problem(index: int, smoke: bool):
+    """One distinct wide dense problem (its own fingerprint and shard).
+
+    Wide layers keep each driver round inside numpy's BLAS kernels — which
+    release the GIL — so distinct fingerprints genuinely overlap on the
+    threaded transport.  The reference comes from the problem's own
+    :func:`_job_rng` stream, not global numpy state.
+    """
+    shape = [48, 96, 96, 6] if smoke else [96, 192, 192, 8]
+    network = dense_network(shape, seed=100 + index)
+    rng = _job_rng(index)
+    reference = rng.uniform(0.35, 0.65, size=shape[0])
+    label = int(network.predict(reference.reshape(1, -1))[0])
+    spec = local_robustness_spec(reference, 0.04, label, shape[-1])
+    return network, spec
+
+
+def _transport_workload(smoke: bool):
+    """Multi-fingerprint jobs with RNG-derived (replayable) priorities."""
+    num_problems = 6 if smoke else 8
+    repeats = 2 if smoke else 3
+    problems = [_wide_problem(index, smoke) for index in range(num_problems)]
+    jobs = []
+    for repeat in range(repeats):
+        for problem_index, (network, spec) in enumerate(problems):
+            job_index = len(jobs)
+            priority = int(_job_rng(job_index).integers(0, 5))
+            jobs.append({"network": network, "spec": spec,
+                         "family": f"WIDE_{problem_index}",
+                         "priority": priority, "repeat": repeat})
+    return jobs
+
+
+def _transport_requests(jobs, max_nodes: int) -> List[JobRequest]:
+    return [JobRequest(network=job["network"], spec=job["spec"],
+                       budget=Budget(max_nodes=max_nodes),
+                       priority=job["priority"])
+            for job in jobs]
+
+
+async def _run_async(requests) -> List:
+    service = AsyncVerificationService(
+        ServiceConfig(pool_size=TRANSPORT_POOL_SIZE, rounds_per_slice=4),
+        max_pending=64)
+    async with service:
+        return await service.run(requests)
+
+
+def bench_transport(jobs, max_nodes: int, transport: str,
+                    sequential: Dict) -> Dict:
+    """The multi-fingerprint workload on one transport, equality-gated."""
+    requests = _transport_requests(jobs, max_nodes)
+    start = time.perf_counter()
+    if transport == "async":
+        results = asyncio.run(_run_async(requests))
+    else:
+        service = VerificationService(
+            ServiceConfig(pool_size=TRANSPORT_POOL_SIZE, rounds_per_slice=4,
+                          transport=transport))
+        with service:
+            service.submit_many(requests)
+            results = service.run_until_complete()
+    total = time.perf_counter() - start
+
+    verdicts_identical = True
+    latencies = []
+    for index, done in enumerate(results):
+        assert done.ok, f"{transport} job failed: {done.error}"
+        latencies.append(done.latency_seconds)
+        if _result_key(done.result) != sequential["result_keys"][index]:
+            verdicts_identical = False
+    throughput = len(jobs) / total if total else 0.0
+    return {
+        "transport": transport,
+        "pool_size": TRANSPORT_POOL_SIZE,
+        "total_seconds": total,
+        "throughput_jobs_per_sec": throughput,
+        "latency_p50": _percentile(latencies, 0.50),
+        "latency_p95": _percentile(latencies, 0.95),
+        "verdicts_identical": verdicts_identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -206,6 +326,16 @@ def main(argv=None) -> int:
     sequential = bench_sequential(jobs, max_nodes)
     service_rows = [bench_service(jobs, max_nodes, pool_size, sequential)
                     for pool_size in POOL_SIZES]
+
+    transport_jobs = _transport_workload(smoke)
+    transport_max_nodes = 24 if smoke else 64
+    transport_sequential = bench_sequential(transport_jobs,
+                                            transport_max_nodes)
+    transport_rows = [bench_transport(transport_jobs, transport_max_nodes,
+                                      transport, transport_sequential)
+                      for transport in TRANSPORTS]
+    by_transport = {row["transport"]: row for row in transport_rows}
+    cooperative_tput = by_transport["cooperative"]["throughput_jobs_per_sec"]
 
     summary = {
         "smoke": smoke,
@@ -228,6 +358,18 @@ def main(argv=None) -> int:
                                         for row in service_rows),
         "service_max_p95_latency_ratio": max(row["p95_latency_ratio"]
                                              for row in service_rows),
+        # Transport acceptance: identical verdicts on every backend; the
+        # threaded speedup over cooperative is parallelism and therefore
+        # machine-dependent — gate it only where cpu_count allows it.
+        "transport_verdicts_identical": all(row["verdicts_identical"]
+                                            for row in transport_rows),
+        "threaded_speedup_over_cooperative": (
+            by_transport["threaded"]["throughput_jobs_per_sec"]
+            / cooperative_tput if cooperative_tput else 0.0),
+        "async_speedup_over_cooperative": (
+            by_transport["async"]["throughput_jobs_per_sec"]
+            / cooperative_tput if cooperative_tput else 0.0),
+        "cpu_count": os.cpu_count() or 1,
     }
     payload = {
         "benchmark": "verification_service",
@@ -236,6 +378,7 @@ def main(argv=None) -> int:
         "sequential": {key: value for key, value in sequential.items()
                        if key != "result_keys"},
         "service": service_rows,
+        "transports": transport_rows,
     }
 
     text = json.dumps(payload, indent=2)

@@ -219,6 +219,32 @@ class BoundCache:
         with self._lock:
             self._put(("report", canonical_key, with_spec), report)
 
+    # -- persistence ----------------------------------------------------------
+    def export_entries(self) -> list:
+        """Snapshot of every ``(key, entry)`` pair in LRU order (oldest first).
+
+        The pairs are exactly what :meth:`import_entries` accepts, so
+        ``import_entries(export_entries())`` on a fresh cache reproduces the
+        store including its eviction order.  Entries are immutable, so the
+        snapshot shares them with the live cache safely.
+        """
+        with self._lock:
+            return list(self._store.items())
+
+    def import_entries(self, items) -> int:
+        """Insert exported ``(key, entry)`` pairs, preserving their order.
+
+        Used by cache-bundle persistence to rebuild a warm cache from a
+        snapshot.  Imported entries do not touch the hit/miss counters — a
+        restored cache starts with fresh stats — but inserting beyond
+        capacity evicts (and counts) exactly like regular puts.  Returns the
+        number of entries inserted.
+        """
+        with self._lock:
+            for key, value in items:
+                self._put(key, value)
+            return len(self._store)
+
     # -- management -----------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
@@ -320,6 +346,33 @@ class LpCache:
         """
         with self._lock:
             self.stats.hits += count
+
+    def export_entries(self) -> list:
+        """Snapshot of every ``(key, optimum)`` pair in LRU order (oldest first).
+
+        The counterpart of :meth:`import_entries`; optima are immutable, so
+        the snapshot shares them with the live cache safely.
+        """
+        with self._lock:
+            return list(self._store.items())
+
+    def import_entries(self, items) -> int:
+        """Insert exported ``(key, optimum)`` pairs, preserving their order.
+
+        Restored entries leave the hit/miss/solve counters untouched (a
+        rebuilt cache starts with fresh stats); inserting beyond capacity
+        evicts oldest-first exactly like regular puts.  Returns the number
+        of entries inserted.
+        """
+        with self._lock:
+            for key, value in items:
+                if key in self._store:
+                    self._store.move_to_end(key)
+                self._store[key] = value
+                while len(self._store) > self.max_entries:
+                    self._store.popitem(last=False)
+                    self.stats.evictions += 1
+            return len(self._store)
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,20 +1,29 @@
 """Verification-as-a-service: a job scheduler over the frontier engine.
 
-See :mod:`repro.service.scheduler` for the scheduling policy and
-:mod:`repro.service.pool` for the fingerprint-scoped cache sharing model;
-``docs/SERVICE.md`` documents the subsystem end to end.
+See :mod:`repro.service.scheduler` for the scheduling policy and execution
+transports (cooperative / threaded), :mod:`repro.service.async_service` for
+the asyncio front-end, and :mod:`repro.service.pool` for the
+fingerprint-scoped cache sharing and persistence model; ``docs/SERVICE.md``
+documents the subsystem end to end.
 """
 
+from repro.service.async_service import AsyncVerificationService
 from repro.service.jobs import JobError, JobRequest, JobResult
 from repro.service.pool import CacheBundle, FingerprintCachePool
-from repro.service.scheduler import ServiceConfig, VerificationService
+from repro.service.scheduler import (
+    TRANSPORTS,
+    ServiceConfig,
+    VerificationService,
+)
 
 __all__ = [
+    "AsyncVerificationService",
     "CacheBundle",
     "FingerprintCachePool",
     "JobError",
     "JobRequest",
     "JobResult",
     "ServiceConfig",
+    "TRANSPORTS",
     "VerificationService",
 ]

@@ -1,0 +1,201 @@
+"""Asyncio front-end over the threaded verification service.
+
+:class:`AsyncVerificationService` lets an event-loop application (an API
+server, a dashboard, a batch pipeline with concurrent producers) submit
+verification jobs with ``await`` semantics while the actual verification
+runs on the threaded transport's worker pool.  Three contracts:
+
+* **Backpressure** — at most ``max_pending`` jobs are in flight at once;
+  :meth:`AsyncVerificationService.submit` *awaits* a slot when the bound is
+  reached instead of growing the queue without limit, so a fast producer is
+  throttled to the pool's service rate and memory stays bounded.
+* **Deadlines** — ``deadline_seconds`` rides through unchanged: worker
+  threads enforce it at round boundaries via the run's ``interrupt()`` hook,
+  exactly as the synchronous service does.
+* **Determinism at the collection point** — completions arrive in
+  completion order (:meth:`AsyncVerificationService.as_completed`), but
+  :meth:`AsyncVerificationService.run` returns results in submission order,
+  and every verdict/charge/counterexample is solo-identical (the transport
+  conformance suite pins this).
+
+Worker threads hand results back to the event loop with
+``loop.call_soon_threadsafe``; nothing verification-sized ever runs on the
+loop itself.  One instance binds to one event loop (the first that touches
+it) and refuses use from another.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+from typing import AsyncIterator, Dict, Iterable, List, Optional
+
+from repro.service.jobs import JobRequest, JobResult
+from repro.service.scheduler import ServiceConfig, VerificationService
+from repro.utils.validation import require
+
+
+class AsyncVerificationService:
+    """Await-friendly verification jobs over the threaded worker pool.
+
+    Usage::
+
+        async with AsyncVerificationService(ServiceConfig(pool_size=4)) as svc:
+            job_id = await svc.submit(network, spec, deadline_seconds=5.0)
+            done = await svc.result(job_id)
+
+    ``config.transport`` is forced to ``"threaded"`` — an asyncio front-end
+    over the cooperative transport would deadlock (nothing would drive the
+    scheduler while the loop awaits).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 verifier_factory=None, max_pending: int = 32) -> None:
+        require(max_pending >= 1, "max_pending must be positive")
+        base = config or ServiceConfig()
+        if base.transport != "threaded":
+            base = dataclasses.replace(base, transport="threaded")
+        self._service = VerificationService(base, verifier_factory)
+        self._service.add_completion_listener(self._dispatch_from_thread)
+        self._max_pending = int(max_pending)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._done_queue: Optional["asyncio.Queue[JobResult]"] = None
+        self._waiters: Dict[str, "asyncio.Future[JobResult]"] = {}
+        self._finished: Dict[str, JobResult] = {}
+        self._submitted = 0
+        self._resolved = 0
+        # ``_dispatch_from_thread`` runs on worker threads while ``_loop``
+        # is written on the loop thread; the lock makes the handoff safe.
+        self._dispatch_lock = threading.Lock()
+
+    # -- loop binding ----------------------------------------------------------
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        """Bind this front-end to the running loop (first caller wins)."""
+        loop = asyncio.get_running_loop()
+        with self._dispatch_lock:
+            if self._loop is None:
+                self._loop = loop
+                self._slots = asyncio.Semaphore(self._max_pending)
+                self._done_queue = asyncio.Queue()
+            elif self._loop is not loop:
+                raise RuntimeError(
+                    "AsyncVerificationService is bound to a different "
+                    "event loop")
+        return loop
+
+    # -- submission ------------------------------------------------------------
+    async def submit(self, network, spec, budget=None, priority: int = 0,
+                     deadline_seconds: Optional[float] = None,
+                     verifier_factory=None,
+                     metadata: Optional[dict] = None) -> str:
+        """Submit one job, awaiting a slot when ``max_pending`` are in flight."""
+        request = JobRequest(network=network, spec=spec, budget=budget,
+                             priority=priority,
+                             deadline_seconds=deadline_seconds,
+                             verifier_factory=verifier_factory,
+                             metadata=dict(metadata or {}))
+        return await self.submit_request(request)
+
+    async def submit_request(self, request: JobRequest) -> str:
+        """Submit a prebuilt request; awaits backpressure like :meth:`submit`."""
+        self._bind_loop()
+        await self._slots.acquire()
+        try:
+            job_id = self._service.submit_request(request)
+        except BaseException:
+            self._slots.release()
+            raise
+        # No await between the service submit and the waiter registration,
+        # so the completion callback (scheduled onto this same loop) cannot
+        # observe a missing waiter.
+        self._waiters[job_id] = self._loop.create_future()
+        self._submitted += 1
+        return job_id
+
+    # -- results ---------------------------------------------------------------
+    async def result(self, job_id: str) -> JobResult:
+        """Await the terminal :class:`~repro.service.jobs.JobResult` of one job."""
+        done = self._finished.get(job_id)
+        if done is not None:
+            return done
+        if job_id not in self._waiters:
+            raise KeyError(job_id)
+        return await asyncio.shield(self._waiters[job_id])
+
+    async def as_completed(self) -> AsyncIterator[JobResult]:
+        """Yield results in completion order until every submission resolved."""
+        self._bind_loop()
+        while (self._resolved < self._submitted
+               or not self._done_queue.empty()):
+            yield await self._done_queue.get()
+
+    async def run(self, requests: Iterable[JobRequest]) -> List[JobResult]:
+        """Submit ``requests`` (honouring backpressure) and collect in order.
+
+        The deterministic collection point of the async front-end: results
+        come back in submission order regardless of completion order.
+        """
+        job_ids = [await self.submit_request(request) for request in requests]
+        return [await self.result(job_id) for job_id in job_ids]
+
+    # -- lifecycle -------------------------------------------------------------
+    async def close(self) -> None:
+        """Drain the worker pool and stop its threads (idempotent).
+
+        Runs the blocking thread-join in the default executor so the event
+        loop stays responsive while workers finish their queues.
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._service.shutdown)
+
+    async def __aenter__(self) -> "AsyncVerificationService":
+        """Async-context entry: the front-end itself."""
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Async-context exit: :meth:`close` (drains pending jobs)."""
+        await self.close()
+
+    # -- observability ---------------------------------------------------------
+    @property
+    def service(self) -> VerificationService:
+        """The underlying threaded :class:`VerificationService`."""
+        return self._service
+
+    @property
+    def pool(self):
+        """The fingerprint cache pool (shared with the threaded service)."""
+        return self._service.pool
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs submitted but not yet resolved (the backpressure gauge)."""
+        return self._submitted - self._resolved
+
+    def stats(self) -> dict:
+        """The underlying service's counters plus front-end gauges."""
+        stats = self._service.stats()
+        stats["async_in_flight"] = self.in_flight
+        stats["async_max_pending"] = self._max_pending
+        return stats
+
+    # -- completion plumbing ---------------------------------------------------
+    def _dispatch_from_thread(self, done: JobResult) -> None:
+        """Worker-thread side of the handoff: schedule onto the loop."""
+        with self._dispatch_lock:
+            loop = self._loop
+        if loop is None:  # submissions only happen after binding
+            return
+        loop.call_soon_threadsafe(self._resolve, done)
+
+    def _resolve(self, done: JobResult) -> None:
+        """Loop side of the handoff: settle the waiter, free a slot."""
+        self._finished[done.job_id] = done
+        self._resolved += 1
+        self._slots.release()
+        future = self._waiters.get(done.job_id)
+        if future is not None and not future.done():
+            future.set_result(done)
+        self._done_queue.put_nowait(done)

@@ -19,13 +19,37 @@ lowering per instance; the pool adds the digest memo (weakly keyed, so the
 pool never keeps a network alive) and thereby makes fingerprinting a
 many-property workload — a robustness sweep, a batch of labels on one model
 — cost one weight hash total instead of one per property.
+
+Thread safety
+-------------
+The threaded service transport calls into the pool from every worker thread
+(bundle lookup per slice, quarantine on failure) and from submitting threads
+(fingerprinting), so all pool state — the bundle table, the digest memo and
+the hit/miss counters — is guarded by one re-entrant lock.  The bundles'
+own caches carry their own locks (see ``bounds/cache.py``); the pool lock
+only protects the *pool's* bookkeeping.
+
+Persistence
+-----------
+:meth:`CacheBundle.save` / :meth:`CacheBundle.load` serialise a bundle's
+LP and bound entries to disk (a versioned pickle payload stamped with the
+fingerprint), so warm caches survive process restarts;
+:meth:`FingerprintCachePool.save_bundles` / :meth:`~FingerprintCachePool.load_bundles`
+persist and restore a whole pool directory.  Loaded caches keep their
+entries but start with fresh counters — hits observed after a restore are
+genuine warm-path reuse.  The payload is a pickle: only load bundle files
+you (or a process you trust) wrote.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import threading
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict
+from pathlib import Path
+from typing import Dict, List, Optional
 
 from repro.bounds.cache import (
     DEFAULT_CACHE_SIZE,
@@ -35,7 +59,19 @@ from repro.bounds.cache import (
 )
 from repro.nn.network import Network
 from repro.specs.properties import Specification
+from repro.utils.validation import require
 from repro.verifiers.milp import network_weights_digest, problem_fingerprint
+
+#: Version stamp of the on-disk cache-bundle payload.  Bump it whenever the
+#: entry layout (cache keys, ``SubstitutionEntry``/``RowOptimum`` fields)
+#: changes incompatibly; :meth:`CacheBundle.load` refuses other versions.
+BUNDLE_FORMAT = 1
+
+#: Marker distinguishing bundle files from arbitrary pickles.
+_BUNDLE_KIND = "repro-cache-bundle"
+
+#: File suffix used by the pool-level persistence helpers.
+BUNDLE_SUFFIX = ".cachebundle"
 
 
 @dataclass
@@ -66,9 +102,83 @@ class CacheBundle:
         """Per-job counter increments between two snapshots."""
         return {key: after[key] - before.get(key, 0) for key in after}
 
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> Path:
+        """Serialise this bundle's cache entries to ``path`` (atomically).
+
+        The payload is a versioned pickle carrying the fingerprint, both
+        caches' capacities and their entries in LRU order; the write goes
+        through a temp file + ``os.replace`` so a crash never leaves a
+        truncated bundle behind.  Returns the written path.
+        """
+        path = Path(path)
+        payload = {
+            "kind": _BUNDLE_KIND,
+            "format": BUNDLE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "lp_max_entries": self.lp_cache.max_entries,
+            "bound_max_entries": self.bound_cache.max_entries,
+            "lp_entries": self.lp_cache.export_entries(),
+            "bound_entries": self.bound_cache.export_entries(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=4)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path, expected_fingerprint: Optional[str] = None,
+             lp_cache_size: Optional[int] = None,
+             bound_cache_size: Optional[int] = None) -> "CacheBundle":
+        """Rebuild a bundle from a :meth:`save` file.
+
+        Validates the payload kind, format version and (when
+        ``expected_fingerprint`` is given) the fingerprint — a bundle must
+        never warm-start a *different* verification problem.  Cache
+        capacities default to the saved ones; passing smaller sizes simply
+        evicts the oldest entries on import.  Restored caches start with
+        fresh (zero) counters.  Raises :class:`ValueError` for anything
+        that is not a healthy bundle file.
+        """
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except OSError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any unpickling failure
+            raise ValueError(f"not a cache-bundle file: {path}") from exc
+        if not isinstance(payload, dict) or payload.get("kind") != _BUNDLE_KIND:
+            raise ValueError(f"not a cache-bundle file: {path}")
+        if payload.get("format") != BUNDLE_FORMAT:
+            raise ValueError(
+                f"unsupported cache-bundle format {payload.get('format')!r} "
+                f"(expected {BUNDLE_FORMAT}): {path}")
+        fingerprint = payload["fingerprint"]
+        if (expected_fingerprint is not None
+                and fingerprint != expected_fingerprint):
+            raise ValueError(
+                f"cache bundle {path} belongs to fingerprint "
+                f"{fingerprint[:12]}…, not {expected_fingerprint[:12]}…")
+        lp_cache = LpCache(lp_cache_size if lp_cache_size is not None
+                           else payload["lp_max_entries"])
+        bound_cache = BoundCache(bound_cache_size
+                                 if bound_cache_size is not None
+                                 else payload["bound_max_entries"])
+        lp_cache.import_entries(payload["lp_entries"])
+        bound_cache.import_entries(payload["bound_entries"])
+        return cls(fingerprint, lp_cache=lp_cache, bound_cache=bound_cache)
+
 
 class FingerprintCachePool:
-    """Bundles per problem fingerprint, plus the warm-model digest memo."""
+    """Bundles per problem fingerprint, plus the warm-model digest memo.
+
+    All bookkeeping is serialised behind one re-entrant lock, so worker
+    threads may fingerprint, fetch and quarantine bundles concurrently
+    without losing counter increments or racing bundle creation (concurrent
+    :meth:`bundle` calls on one fingerprint observe the same instance).
+    """
 
     def __init__(self, lp_cache_size: int = DEFAULT_LP_CACHE_SIZE,
                  bound_cache_size: int = DEFAULT_CACHE_SIZE) -> None:
@@ -77,6 +187,7 @@ class FingerprintCachePool:
         self._bundles: Dict[str, CacheBundle] = {}
         self._digests: "weakref.WeakKeyDictionary[Network, str]" = (
             weakref.WeakKeyDictionary())
+        self._lock = threading.RLock()
         self.model_cache_hits = 0
         self.model_cache_misses = 0
 
@@ -84,26 +195,34 @@ class FingerprintCachePool:
     def fingerprint_for(self, network: Network, spec: Specification) -> str:
         """The problem fingerprint of ``(network, spec)``, digest-memoised."""
         lowered = network.lowered()  # memoised on the network instance
-        digest = self._digests.get(network)
+        with self._lock:
+            digest = self._digests.get(network)
+            if digest is None:
+                self.model_cache_misses += 1
+            else:
+                self.model_cache_hits += 1
         if digest is None:
-            self.model_cache_misses += 1
+            # Hash outside the lock: digesting large weights is the slow
+            # part, and a duplicate digest computed by a racing thread is
+            # identical anyway.
             digest = network_weights_digest(lowered)
-            self._digests[network] = digest
-        else:
-            self.model_cache_hits += 1
+            with self._lock:
+                self._digests[network] = digest
         return problem_fingerprint(lowered, spec.input_box, spec.output_spec,
                                    weights_digest=digest)
 
     # -- bundle management -----------------------------------------------------
     def bundle(self, fingerprint: str) -> CacheBundle:
         """The (created-on-demand) cache bundle of one fingerprint."""
-        found = self._bundles.get(fingerprint)
-        if found is None:
-            found = CacheBundle(fingerprint,
-                                lp_cache=LpCache(self.lp_cache_size),
-                                bound_cache=BoundCache(self.bound_cache_size))
-            self._bundles[fingerprint] = found
-        return found
+        with self._lock:
+            found = self._bundles.get(fingerprint)
+            if found is None:
+                found = CacheBundle(
+                    fingerprint,
+                    lp_cache=LpCache(self.lp_cache_size),
+                    bound_cache=BoundCache(self.bound_cache_size))
+                self._bundles[fingerprint] = found
+            return found
 
     def discard(self, fingerprint: str) -> bool:
         """Quarantine a fingerprint: drop its bundle (recreated cold on demand).
@@ -113,17 +232,57 @@ class FingerprintCachePool:
         recompute, so the service trades warm caches for certain isolation.
         Returns whether a bundle existed.
         """
-        return self._bundles.pop(fingerprint, None) is not None
+        with self._lock:
+            return self._bundles.pop(fingerprint, None) is not None
 
     def __len__(self) -> int:
-        return len(self._bundles)
+        with self._lock:
+            return len(self._bundles)
 
     def stats(self) -> dict:
         """Pool-level counters plus per-fingerprint cache stats."""
+        with self._lock:
+            bundles = dict(self._bundles)
+            hits, misses = self.model_cache_hits, self.model_cache_misses
         return {
-            "fingerprints": len(self._bundles),
-            "model_cache_hits": self.model_cache_hits,
-            "model_cache_misses": self.model_cache_misses,
+            "fingerprints": len(bundles),
+            "model_cache_hits": hits,
+            "model_cache_misses": misses,
             "bundles": {fp: bundle.stats_snapshot()
-                        for fp, bundle in self._bundles.items()},
+                        for fp, bundle in bundles.items()},
         }
+
+    # -- persistence -----------------------------------------------------------
+    def save_bundles(self, directory) -> List[Path]:
+        """Save every bundle to ``directory/<fingerprint>.cachebundle``.
+
+        Returns the written paths (sorted by fingerprint, so directory
+        listings are stable).  Bundles keep serving while being saved —
+        ``export_entries`` snapshots under the cache locks.
+        """
+        with self._lock:
+            bundles = sorted(self._bundles.values(),
+                             key=lambda bundle: bundle.fingerprint)
+        directory = Path(directory)
+        return [bundle.save(directory / f"{bundle.fingerprint}{BUNDLE_SUFFIX}")
+                for bundle in bundles]
+
+    def load_bundles(self, directory) -> int:
+        """Restore every ``*.cachebundle`` file under ``directory``.
+
+        Loaded bundles replace same-fingerprint bundles already in the pool
+        (the restart scenario: the pool is cold) and adopt the pool's
+        configured cache capacities.  Returns the number of bundles
+        restored; raises :class:`ValueError` on a corrupt or alien file.
+        """
+        loaded = 0
+        for path in sorted(Path(directory).glob(f"*{BUNDLE_SUFFIX}")):
+            bundle = CacheBundle.load(path,
+                                      lp_cache_size=self.lp_cache_size,
+                                      bound_cache_size=self.bound_cache_size)
+            require(path.name == f"{bundle.fingerprint}{BUNDLE_SUFFIX}",
+                    f"bundle file {path.name} does not match its fingerprint")
+            with self._lock:
+                self._bundles[bundle.fingerprint] = bundle
+            loaded += 1
+        return loaded

@@ -1,30 +1,33 @@
-"""A cooperative verification service multiplexing jobs over driver workers.
+"""A verification service multiplexing jobs over a pool of workers.
 
 The service turns the library's verifiers into a batch/streaming facility:
-many ``(network, property, budget)`` jobs run interleaved in one process,
-preempted only at :class:`~repro.engine.driver.FrontierDriver` round
-boundaries (where the verifiers' ``affordable_phases`` budget accounting
-already makes stopping sound).  Scheduling is **cooperative and
-deterministic**: one job advances at a time, for ``rounds_per_slice`` rounds
-per slice, so every job's verdict, budget charges and counterexample are
-byte-identical to an uninterrupted solo run — multiplexing buys *reuse*, not
-races.
+many ``(network, property, budget)`` jobs run interleaved, preempted only at
+:class:`~repro.engine.driver.FrontierDriver` round boundaries (where the
+verifiers' ``affordable_phases`` budget accounting already makes stopping
+sound).  Two execution transports share one API and one scheduling policy
+(see ``docs/SERVICE.md#transports``):
 
-Where the throughput comes from
--------------------------------
-Jobs are sharded to workers by problem fingerprint, and every job on one
-fingerprint shares that fingerprint's :class:`~repro.service.pool.CacheBundle`
-(leaf-LP cache, split-aware bound cache) plus the pool-wide warm-model
-digest.  A workload that revisits problems — radius sweeps, repeated API
-queries, certification dashboards — therefore pays the expensive bound/LP
-work once and serves the repeats from cache; that, not parallelism, is the
-service's speedup (see ``benchmarks/bench_service.py``).
+* ``"cooperative"`` — single-threaded and fully deterministic: one job
+  advances at a time, driven by the caller iterating :meth:`VerificationService.step`
+  / :meth:`VerificationService.as_completed`, so the same submissions always
+  produce the same interleaving.
+* ``"threaded"`` — one real worker thread per shard: each worker drains its
+  own queue under the identical per-worker policy, so jobs on *different*
+  workers execute in parallel while jobs on one worker keep the cooperative
+  ordering guarantees.  Results stream in completion order (nondeterministic
+  across workers); :meth:`VerificationService.run_until_complete` restores
+  deterministic submission order at the collection point.
+
+Either way a job's verdict, budget charges and counterexample are
+byte-identical to an uninterrupted solo run — the caches shared between
+jobs return exactly what recomputation would, so multiplexing buys *reuse*
+(and, threaded, parallelism), never races.
 
 Scheduling policy
 -----------------
 * **Sharding**: ``worker = int(fingerprint[:8], 16) % pool_size`` — jobs on
   one problem land on one worker, keeping their cache traffic local and the
-  interleaving deterministic.
+  per-worker interleaving deterministic.
 * **Priority with bounded wait**: within a worker the highest-priority
   pending job runs next (ties: submission order), but any job that has
   waited ``max_wait_slices`` slices is served first (oldest submission
@@ -39,14 +42,17 @@ Scheduling policy
   captured as a structured :class:`~repro.service.jobs.JobError` on *that
   job's* result; the fingerprint's cache bundle is quarantined (discarded)
   in case a poisoned entry caused the failure, and every other job — on the
-  same worker or not — continues untouched.
+  same worker or not — continues untouched.  Under the threaded transport a
+  failing job never takes its worker thread down.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.bounds.cache import DEFAULT_CACHE_SIZE, DEFAULT_LP_CACHE_SIZE
 from repro.nn.network import Network
@@ -60,6 +66,11 @@ from repro.verifiers.result import (
     VerificationStatus,
     VerifierRun,
 )
+
+#: Execution transports accepted by :attr:`ServiceConfig.transport`.  The
+#: asyncio front-end (:class:`~repro.service.async_service.AsyncVerificationService`)
+#: is a wrapper over ``"threaded"``, not a third scheduler.
+TRANSPORTS = ("cooperative", "threaded")
 
 
 def _default_verifier_factory(bundle: CacheBundle):
@@ -75,7 +86,8 @@ def _default_verifier_factory(bundle: CacheBundle):
 class ServiceConfig:
     """Knobs of the verification service (see the module docstring)."""
 
-    #: Number of cooperative workers jobs are sharded across.
+    #: Number of workers jobs are sharded across (threads when
+    #: ``transport="threaded"``, cooperative queues otherwise).
     pool_size: int = 2
     #: Driver rounds one job advances per scheduling slice.
     rounds_per_slice: int = 4
@@ -87,11 +99,16 @@ class ServiceConfig:
     lp_cache_size: int = DEFAULT_LP_CACHE_SIZE
     #: Capacity of each fingerprint bundle's bound cache.
     bound_cache_size: int = DEFAULT_CACHE_SIZE
+    #: Execution transport: ``"cooperative"`` (caller-driven, deterministic
+    #: interleaving) or ``"threaded"`` (one worker thread per shard).
+    transport: str = "cooperative"
 
     def __post_init__(self) -> None:
         require(self.pool_size >= 1, "pool_size must be positive")
         require(self.rounds_per_slice >= 1, "rounds_per_slice must be positive")
         require(self.max_wait_slices >= 1, "max_wait_slices must be positive")
+        require(self.transport in TRANSPORTS,
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
 
 
 @dataclass
@@ -114,15 +131,24 @@ class _Job:
 
 
 class _Worker:
-    """One cooperative worker: a queue of jobs sharded to it."""
+    """One worker shard: a queue of jobs plus its synchronisation state.
+
+    ``lock`` guards the job list; ``wake`` (a condition on the same lock)
+    lets a threaded worker sleep while its queue is empty and be woken by
+    submissions or shutdown.  The cooperative transport takes the same lock
+    — uncontended, so effectively free — which keeps one code path.
+    """
 
     def __init__(self, index: int) -> None:
         self.index = index
         self.jobs: List[_Job] = []
+        self.lock = threading.RLock()
+        self.wake = threading.Condition(self.lock)
+        self.thread: Optional[threading.Thread] = None
 
 
 class VerificationService:
-    """Multiplex verification jobs over a pool of cooperative workers.
+    """Multiplex verification jobs over a pool of workers.
 
     Batch use::
 
@@ -131,11 +157,14 @@ class VerificationService:
         results = {r.job_id: r for r in service.as_completed()}
 
     ``run_until_complete()`` drains everything and returns results in
-    submission order; :meth:`stream_results` is the submit-and-stream
-    convenience.  The service is single-threaded — callers drive it by
-    iterating :meth:`as_completed` (or calling :meth:`step` directly), and
-    determinism follows: the same submissions always produce the same
-    interleaving and the same results.
+    submission order (on every transport); :meth:`stream_results` is the
+    submit-and-stream convenience.  Under the default cooperative transport
+    the caller drives the service by iterating :meth:`as_completed` (or
+    calling :meth:`step` directly) and determinism follows; under
+    ``transport="threaded"`` worker threads drive themselves, results stream
+    in completion order, and the service should be :meth:`shutdown` (or used
+    as a context manager) when done.  :meth:`as_completed` supports one
+    consumer at a time.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None,
@@ -147,10 +176,20 @@ class VerificationService:
                                          self.config.bound_cache_size)
         self._workers = [_Worker(i) for i in range(self.config.pool_size)]
         self._jobs: Dict[str, _Job] = {}
+        self._lock = threading.RLock()
         self._next_seq = 0
         self._next_worker = 0
         self._slices = 0
         self._failed = 0
+        self._results: "queue.SimpleQueue[JobResult]" = queue.SimpleQueue()
+        self._listeners: List[Callable[[JobResult], None]] = []
+        self._shutdown = False
+        self._threads_started = False
+
+    @property
+    def threaded(self) -> bool:
+        """Whether this service runs the threaded transport."""
+        return self.config.transport == "threaded"
 
     # -- submission ------------------------------------------------------------
     def submit(self, network: Network, spec: Specification,
@@ -172,22 +211,30 @@ class VerificationService:
         require(request.deadline_seconds is None
                 or request.deadline_seconds > 0,
                 "deadline_seconds must be positive when given")
-        seq = self._next_seq
-        self._next_seq += 1
         fingerprint = self.pool.fingerprint_for(request.network, request.spec)
         now = time.monotonic()
-        job = _Job(
-            job_id=f"job-{seq}",
-            seq=seq,
-            request=request,
-            fingerprint=fingerprint,
-            worker=int(fingerprint[:8], 16) % self.config.pool_size,
-            submitted_at=now,
-            deadline_at=(None if request.deadline_seconds is None
-                         else now + request.deadline_seconds),
-        )
-        self._jobs[job.job_id] = job
-        self._workers[job.worker].jobs.append(job)
+        with self._lock:
+            require(not self._shutdown,
+                    "service is shut down; no new submissions")
+            seq = self._next_seq
+            self._next_seq += 1
+            job = _Job(
+                job_id=f"job-{seq}",
+                seq=seq,
+                request=request,
+                fingerprint=fingerprint,
+                worker=int(fingerprint[:8], 16) % self.config.pool_size,
+                submitted_at=now,
+                deadline_at=(None if request.deadline_seconds is None
+                             else now + request.deadline_seconds),
+            )
+            self._jobs[job.job_id] = job
+        worker = self._workers[job.worker]
+        with worker.wake:
+            worker.jobs.append(job)
+            worker.wake.notify()
+        if self.threaded:
+            self._ensure_threads()
         return job.job_id
 
     def submit_many(self, requests: Iterable[JobRequest]) -> List[str]:
@@ -197,42 +244,60 @@ class VerificationService:
     # -- scheduling ------------------------------------------------------------
     def has_pending(self) -> bool:
         """Whether any submitted job has not finished yet."""
-        return any(worker.jobs for worker in self._workers)
+        for worker in self._workers:
+            with worker.lock:
+                if worker.jobs:
+                    return True
+        return False
 
     def step(self) -> Optional[JobResult]:
-        """Run one scheduling slice; the finished job's result, if any.
+        """Run one cooperative scheduling slice; the finished result, if any.
 
         Picks the next worker (round-robin over workers with pending jobs),
         selects that worker's next job under the priority/bounded-wait
         policy, and advances it up to ``rounds_per_slice`` driver rounds.
         Returns ``None`` while the job needs more slices (or no work is
-        pending).
+        pending).  Only the cooperative transport is caller-stepped; under
+        ``transport="threaded"`` the workers drive themselves and this
+        method raises.
         """
+        require(not self.threaded,
+                "step() drives the cooperative transport; threaded workers "
+                "run autonomously — iterate as_completed() instead")
         worker = self._pick_worker()
         if worker is None:
             return None
-        job = self._pick_job(worker)
-        for other in worker.jobs:
-            if other is not job:
-                other.wait += 1
-                other.total_wait += 1
-        job.wait = 0
+        with worker.lock:
+            job = self._pick_job(worker)
+            self._charge_waits(worker, job)
         return self._run_slice(worker, job)
 
     def as_completed(self) -> Iterator[JobResult]:
-        """Drive the service, yielding each job's result as it finishes."""
-        while self.has_pending():
-            finished = self.step()
-            if finished is not None:
-                yield finished
+        """Drive/drain the service, yielding each result as it finishes.
+
+        Cooperative: runs slices inline, deterministically.  Threaded:
+        blocks on the worker threads' completion stream; the yield order is
+        completion order, which is *not* deterministic across workers (use
+        :meth:`run_until_complete` for submission-ordered collection).
+        """
+        if self.threaded:
+            return self._as_completed_threaded()
+        return self._as_completed_cooperative()
 
     def run_until_complete(self) -> List[JobResult]:
-        """Drain every pending job; results in submission order."""
+        """Drain every pending job; results in submission order.
+
+        The deterministic collection point shared by both transports:
+        whatever order jobs *finish* in, the returned list is ordered by
+        submission, so batch callers observe identical output across
+        transports.
+        """
         for _ in self.as_completed():
             pass
-        return sorted((job.done for job in self._jobs.values()
-                       if job.done is not None),
-                      key=lambda r: self._jobs[r.job_id].seq)
+        with self._lock:
+            done = [(job.seq, job.done) for job in self._jobs.values()
+                    if job.done is not None]
+        return [result for _, result in sorted(done, key=lambda pair: pair[0])]
 
     def stream_results(self,
                        requests: Iterable[JobRequest]) -> Iterator[JobResult]:
@@ -244,32 +309,154 @@ class VerificationService:
         self.submit_many(requests)
         return self.as_completed()
 
+    # -- lifecycle -------------------------------------------------------------
+    def add_completion_listener(self,
+                                listener: Callable[[JobResult], None]) -> None:
+        """Register ``listener`` to be called once per finished job.
+
+        Under the threaded transport listeners run on the worker thread that
+        finished the job (the asyncio front-end bridges back to its event
+        loop with ``call_soon_threadsafe``); they must be quick and must not
+        raise.
+        """
+        self._listeners.append(listener)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions and wind the worker threads down.
+
+        Pending jobs are *drained*, not dropped: workers finish their queues
+        before exiting, so a shutdown after ``run_until_complete`` is
+        instant while a premature one still honours every accepted job.
+        Idempotent; a no-op on the cooperative transport apart from
+        rejecting further submissions.  With ``wait`` the calling thread
+        joins the workers.
+        """
+        with self._lock:
+            self._shutdown = True
+        for worker in self._workers:
+            with worker.wake:
+                worker.wake.notify_all()
+        if wait and self.threaded:
+            for worker in self._workers:
+                if worker.thread is not None:
+                    worker.thread.join()
+
+    def __enter__(self) -> "VerificationService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: shut the transport down (draining)."""
+        self.shutdown(wait=True)
+
     # -- results & stats -------------------------------------------------------
     def result(self, job_id: str) -> Optional[JobResult]:
         """The finished result of ``job_id`` (``None`` while running)."""
-        return self._jobs[job_id].done
+        with self._lock:
+            return self._jobs[job_id].done
 
     def stats(self) -> dict:
         """Service-level counters: jobs, slices, pool/cache stats."""
-        done = sum(1 for job in self._jobs.values() if job.done is not None)
+        with self._lock:
+            done = sum(1 for job in self._jobs.values()
+                       if job.done is not None)
+            submitted = len(self._jobs)
+            slices, failed = self._slices, self._failed
         return {
-            "jobs_submitted": len(self._jobs),
+            "jobs_submitted": submitted,
             "jobs_completed": done,
-            "jobs_failed": self._failed,
-            "slices": self._slices,
+            "jobs_failed": failed,
+            "slices": slices,
             "pool_size": self.config.pool_size,
+            "transport": self.config.transport,
             "pool": self.pool.stats(),
         }
 
-    # -- internals -------------------------------------------------------------
+    # -- cache persistence -----------------------------------------------------
+    def save_caches(self, directory) -> List:
+        """Persist every fingerprint bundle to ``directory`` (see pool docs)."""
+        return self.pool.save_bundles(directory)
+
+    def load_caches(self, directory) -> int:
+        """Warm-start the pool from a :meth:`save_caches` directory."""
+        return self.pool.load_bundles(directory)
+
+    # -- cooperative drive -----------------------------------------------------
+    def _as_completed_cooperative(self) -> Iterator[JobResult]:
+        while self.has_pending():
+            finished = self.step()
+            if finished is not None:
+                yield finished
+
     def _pick_worker(self) -> Optional[_Worker]:
         for offset in range(len(self._workers)):
             worker = self._workers[(self._next_worker + offset)
                                    % len(self._workers)]
-            if worker.jobs:
-                self._next_worker = (worker.index + 1) % len(self._workers)
-                return worker
+            with worker.lock:
+                if worker.jobs:
+                    self._next_worker = (worker.index + 1) % len(self._workers)
+                    return worker
         return None
+
+    # -- threaded drive --------------------------------------------------------
+    def _ensure_threads(self) -> None:
+        if self._threads_started:
+            return
+        with self._lock:
+            if self._threads_started:
+                return
+            for worker in self._workers:
+                thread = threading.Thread(
+                    target=self._worker_loop, args=(worker,),
+                    name=f"verification-worker-{worker.index}", daemon=True)
+                worker.thread = thread
+                thread.start()
+            self._threads_started = True
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        """Drain ``worker``'s queue: the per-worker policy, on a real thread."""
+        while True:
+            with worker.wake:
+                while not worker.jobs and not self._shutdown:
+                    worker.wake.wait()
+                if not worker.jobs:  # shut down and drained
+                    return
+                job = self._pick_job(worker)
+                self._charge_waits(worker, job)
+            # The slice itself runs without the worker lock so submissions
+            # (and has_pending probes) never wait on a verification round.
+            self._run_slice(worker, job)
+
+    def _as_completed_threaded(self) -> Iterator[JobResult]:
+        self._ensure_threads()
+        while True:
+            try:
+                yield self._results.get_nowait()
+                continue
+            except queue.Empty:
+                pass
+            if not self.has_pending():
+                # Finishing publishes to the queue *before* the job leaves
+                # its worker queue (one critical section), so an empty pool
+                # plus an empty results queue really means: all done.
+                try:
+                    yield self._results.get_nowait()
+                    continue
+                except queue.Empty:
+                    return
+            try:
+                yield self._results.get(timeout=0.05)
+            except queue.Empty:
+                continue
+
+    # -- shared internals ------------------------------------------------------
+    def _charge_waits(self, worker: _Worker, job: _Job) -> None:
+        """Account one waiting slice to every pending job except ``job``."""
+        for other in worker.jobs:
+            if other is not job:
+                other.wait += 1
+                other.total_wait += 1
+        job.wait = 0
 
     def _pick_job(self, worker: _Worker) -> _Job:
         # Starved jobs are served in submission order, *not* largest-wait
@@ -291,7 +478,8 @@ class VerificationService:
                 and time.monotonic() >= job.deadline_at)
 
     def _run_slice(self, worker: _Worker, job: _Job) -> Optional[JobResult]:
-        self._slices += 1
+        with self._lock:
+            self._slices += 1
         job.slices += 1
         bundle = self.pool.bundle(job.fingerprint)
         before = bundle.stats_snapshot()
@@ -348,8 +536,16 @@ class VerificationService:
 
     def _finish_job(self, worker: _Worker, job: _Job,
                     done: JobResult) -> JobResult:
-        worker.jobs.remove(job)
-        job.done = done
+        # Removal and publication form one critical section: once a worker
+        # queue is observed empty, every finished result is already in the
+        # completion stream (the threaded as_completed termination test).
+        with worker.lock:
+            worker.jobs.remove(job)
+            job.done = done
+            if self.threaded:
+                self._results.put(done)
+        for listener in list(self._listeners):
+            listener(done)
         return done
 
     def _complete(self, worker: _Worker, job: _Job,
@@ -372,7 +568,8 @@ class VerificationService:
         return self._finish_job(worker, job, done)
 
     def _fail(self, worker: _Worker, job: _Job, error: JobError) -> JobResult:
-        self._failed += 1
+        with self._lock:
+            self._failed += 1
         if self.config.quarantine_on_error:
             self.pool.discard(job.fingerprint)
         done = JobResult(

@@ -6,6 +6,8 @@ poisoned shared-cache entry must fail *only the job that hit it* — with a
 structured :class:`~repro.service.jobs.JobError` naming the stage — while
 every other job in the pool finishes solo-identical and the fingerprint's
 cache bundle is quarantined so the poison cannot outlive the job it broke.
+The isolation tests run on both execution transports: a failing job must
+not take down a cooperative scheduling loop *or* a real worker thread.
 """
 
 from __future__ import annotations
@@ -82,17 +84,20 @@ class _ExplodingVerifier:
 
 
 class TestRoundFailure:
-    def test_mid_round_exception_fails_only_that_job(self):
+    @pytest.mark.parametrize("transport", ["cooperative", "threaded"])
+    def test_mid_round_exception_fails_only_that_job(self, transport):
         service = VerificationService(ServiceConfig(pool_size=2,
-                                                    rounds_per_slice=1))
-        bad = service.submit(
-            *PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES),
-            verifier_factory=lambda bundle: _ExplodingVerifier(3))
-        good_same = service.submit(*PROBLEM_A,
-                                   budget=Budget(max_nodes=BUDGET_NODES))
-        good_other = service.submit(*PROBLEM_B,
-                                    budget=Budget(max_nodes=BUDGET_NODES))
-        results = {done.job_id: done for done in service.as_completed()}
+                                                    rounds_per_slice=1,
+                                                    transport=transport))
+        with service:
+            bad = service.submit(
+                *PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES),
+                verifier_factory=lambda bundle: _ExplodingVerifier(3))
+            good_same = service.submit(*PROBLEM_A,
+                                       budget=Budget(max_nodes=BUDGET_NODES))
+            good_other = service.submit(*PROBLEM_B,
+                                        budget=Budget(max_nodes=BUDGET_NODES))
+            results = {done.job_id: done for done in service.as_completed()}
         assert set(results) == {bad, good_same, good_other}
 
         failed = results[bad]
@@ -116,17 +121,20 @@ class TestRoundFailure:
 
 
 class TestSetupFailure:
-    def test_broken_factory_fails_at_setup(self):
+    @pytest.mark.parametrize("transport", ["cooperative", "threaded"])
+    def test_broken_factory_fails_at_setup(self, transport):
         def broken_factory(bundle):
             raise ValueError("no verifier for you")
 
-        service = VerificationService(ServiceConfig(pool_size=1))
-        bad = service.submit(*PROBLEM_A,
-                             budget=Budget(max_nodes=BUDGET_NODES),
-                             verifier_factory=broken_factory)
-        good = service.submit(*PROBLEM_A,
-                              budget=Budget(max_nodes=BUDGET_NODES))
-        results = {done.job_id: done for done in service.as_completed()}
+        service = VerificationService(ServiceConfig(pool_size=1,
+                                                    transport=transport))
+        with service:
+            bad = service.submit(*PROBLEM_A,
+                                 budget=Budget(max_nodes=BUDGET_NODES),
+                                 verifier_factory=broken_factory)
+            good = service.submit(*PROBLEM_A,
+                                  budget=Budget(max_nodes=BUDGET_NODES))
+            results = {done.job_id: done for done in service.as_completed()}
 
         failed = results[bad]
         assert not failed.ok
@@ -176,40 +184,45 @@ class TestPoisonedCache:
         bundle.bound_cache.put_report(root_key, False, "poison")
         return fingerprint, bundle
 
-    def test_poisoned_entry_fails_job_and_quarantines_bundle(self):
-        service = VerificationService(ServiceConfig(pool_size=2))
-        fingerprint, poisoned = self._poison(service, PROBLEM_A)
+    @pytest.mark.parametrize("transport", ["cooperative", "threaded"])
+    def test_poisoned_entry_fails_job_and_quarantines_bundle(self, transport):
+        service = VerificationService(ServiceConfig(pool_size=2,
+                                                    transport=transport))
+        with service:
+            fingerprint, poisoned = self._poison(service, PROBLEM_A)
 
-        bad = service.submit(*PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES))
-        good = service.submit(*PROBLEM_B, budget=Budget(max_nodes=BUDGET_NODES))
-        results = {done.job_id: done for done in service.as_completed()}
+            bad = service.submit(*PROBLEM_A,
+                                 budget=Budget(max_nodes=BUDGET_NODES))
+            good = service.submit(*PROBLEM_B,
+                                  budget=Budget(max_nodes=BUDGET_NODES))
+            results = {done.job_id: done for done in service.as_completed()}
 
-        failed = results[bad]
-        assert not failed.ok
-        # The root bound is computed while the run is being built, so the
-        # poison surfaces at the setup stage with the consumer's exception.
-        assert failed.error.stage == "setup"
-        assert failed.error.kind == "AttributeError"
+            failed = results[bad]
+            assert not failed.ok
+            # The root bound is computed while the run is being built, so the
+            # poison surfaces at the setup stage with the consumer's exception.
+            assert failed.error.stage == "setup"
+            assert failed.error.kind == "AttributeError"
 
-        # Only the job that read the poison failed; the other fingerprint
-        # never saw it.
-        assert results[good].ok
-        _assert_identical(results[good].result, SOLO_B)
+            # Only the job that read the poison failed; the other fingerprint
+            # never saw it.
+            assert results[good].ok
+            _assert_identical(results[good].result, SOLO_B)
 
-        # The poisoned bundle was quarantined: the fingerprint resolves to a
-        # fresh (cold, unpoisoned) bundle now.
-        fresh = service.pool.bundle(fingerprint)
-        assert fresh is not poisoned
-        root_key = SplitAssignment.empty().canonical_key()
-        assert fresh.bound_cache.peek_layer(0, ()) is None
+            # The poisoned bundle was quarantined: the fingerprint resolves
+            # to a fresh (cold, unpoisoned) bundle now.
+            fresh = service.pool.bundle(fingerprint)
+            assert fresh is not poisoned
+            assert fresh.bound_cache.peek_layer(0, ()) is None
 
-        # Resubmitting the same problem succeeds against the fresh bundle.
-        retry = service.submit(*PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES))
-        done = next(iter(service.as_completed()))
-        assert done.job_id == retry
-        assert done.ok
-        _assert_identical(done.result, SOLO_A)
-        assert service.stats()["jobs_failed"] == 1
+            # Resubmitting the same problem succeeds against the fresh bundle.
+            retry = service.submit(*PROBLEM_A,
+                                   budget=Budget(max_nodes=BUDGET_NODES))
+            done = next(done for done in service.as_completed()
+                        if done.job_id == retry)
+            assert done.ok
+            _assert_identical(done.result, SOLO_A)
+            assert service.stats()["jobs_failed"] == 1
 
     def test_quarantine_can_be_disabled(self):
         service = VerificationService(ServiceConfig(pool_size=1,

@@ -47,6 +47,7 @@ HIGHER_BETTER_KEYS = (
     "service_min_throughput_speedup",
     "service_min_lp_hit_rate",
     "service_min_bound_hit_rate",
+    "threaded_speedup_over_cooperative",
 )
 #: Per-key tolerance overrides.  The smoke-workload per-child medians are
 #: too short for tight gating on shared CI runners, so the incremental
@@ -59,7 +60,13 @@ TOLERANCE_OVERRIDES = {"min_speedup_incremental": 0.30,
                        # workload swing with scheduler noise; wider headroom
                        # keeps the gates meaningful without flaking.
                        "service_min_throughput_speedup": 0.30,
-                       "service_max_p95_latency_ratio": 0.50}
+                       "service_max_p95_latency_ratio": 0.50,
+                       # Parallel speedup depends on the host's core count
+                       # (a 1-core baseline machine reports ~1.0x); this key
+                       # only backstops "threading suddenly became a big
+                       # slowdown" — the real ≥1.3x floor lives in CI,
+                       # guarded by cpu_count.
+                       "threaded_speedup_over_cooperative": 0.50}
 #: Lower-is-better numeric summary metrics.
 LOWER_BETTER_KEYS = ("lp_total_solves", "service_max_p95_latency_ratio")
 #: Boolean invariants that must not flip to False.
