@@ -13,8 +13,12 @@ calls) — and compares:
 * ``transports`` — a *multi-fingerprint* workload (distinct wide problems,
   so jobs shard across all workers) run on each execution transport:
   ``cooperative``, ``threaded`` (real worker threads; numpy's BLAS kernels
-  release the GIL, so distinct shards overlap on multi-core hosts) and
-  ``async`` (the asyncio front-end over the threaded pool).
+  release the GIL, so distinct shards overlap on multi-core hosts),
+  ``process`` (one supervised worker process per shard — parallelism plus
+  crash isolation, paying a pipe round-trip per slice) and ``async`` (the
+  asyncio front-end over the threaded pool).  The process rows also report
+  the robustness counters (job retries, worker crashes/restarts) so the
+  regression gate notices a bench run that only passed by retrying.
 
 The cooperative service's speedup is *reuse*, not parallelism: repeat jobs
 serve their bound passes and leaf LPs from the warm fingerprint bundle.
@@ -71,7 +75,7 @@ SMOKE_FAMILIES = ("MNIST_L2",)
 POOL_SIZES = (1, 2, 4)
 
 #: Execution transports compared on the multi-fingerprint workload.
-TRANSPORTS = ("cooperative", "threaded", "async")
+TRANSPORTS = ("cooperative", "threaded", "process", "async")
 #: Workers for the transport comparison (jobs shard across all of them).
 TRANSPORT_POOL_SIZE = 4
 
@@ -294,13 +298,15 @@ def bench_transport(jobs, max_nodes: int, transport: str,
 
     verdicts_identical = True
     latencies = []
+    job_retries = 0
     for index, done in enumerate(results):
         assert done.ok, f"{transport} job failed: {done.error}"
         latencies.append(done.latency_seconds)
+        job_retries += max(0, done.attempts - 1)
         if _result_key(done.result) != sequential["result_keys"][index]:
             verdicts_identical = False
     throughput = len(jobs) / total if total else 0.0
-    return {
+    row = {
         "transport": transport,
         "pool_size": TRANSPORT_POOL_SIZE,
         "total_seconds": total,
@@ -308,7 +314,14 @@ def bench_transport(jobs, max_nodes: int, transport: str,
         "latency_p50": _percentile(latencies, 0.50),
         "latency_p95": _percentile(latencies, 0.95),
         "verdicts_identical": verdicts_identical,
+        "job_retries": job_retries,
     }
+    if transport == "process":
+        stats = service.stats()
+        row["worker_crashes"] = stats["worker_crashes"]
+        row["worker_restarts"] = stats["worker_restarts"]
+        row["transport_downgrades"] = len(stats["transport_downgrades"])
+    return row
 
 
 def main(argv=None) -> int:
@@ -366,9 +379,19 @@ def main(argv=None) -> int:
         "threaded_speedup_over_cooperative": (
             by_transport["threaded"]["throughput_jobs_per_sec"]
             / cooperative_tput if cooperative_tput else 0.0),
+        "process_speedup_over_cooperative": (
+            by_transport["process"]["throughput_jobs_per_sec"]
+            / cooperative_tput if cooperative_tput else 0.0),
         "async_speedup_over_cooperative": (
             by_transport["async"]["throughput_jobs_per_sec"]
             / cooperative_tput if cooperative_tput else 0.0),
+        # Robustness: a healthy bench run needs no retries and loses no
+        # workers — nonzero values mean the run only passed by retrying.
+        "total_job_retries": sum(row["job_retries"]
+                                 for row in transport_rows),
+        "process_worker_crashes": by_transport["process"]["worker_crashes"],
+        "process_transport_downgrades": (
+            by_transport["process"]["transport_downgrades"]),
         "cpu_count": os.cpu_count() or 1,
     }
     payload = {

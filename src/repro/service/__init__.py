@@ -1,19 +1,26 @@
 """Verification-as-a-service: a job scheduler over the frontier engine.
 
 See :mod:`repro.service.scheduler` for the scheduling policy and execution
-transports (cooperative / threaded), :mod:`repro.service.async_service` for
-the asyncio front-end, and :mod:`repro.service.pool` for the
-fingerprint-scoped cache sharing and persistence model; ``docs/SERVICE.md``
-documents the subsystem end to end.
+transports (cooperative / threaded / process),
+:mod:`repro.service.supervisor` and :mod:`repro.service.process_transport`
+for worker-process supervision and crash isolation,
+:mod:`repro.service.async_service` for the asyncio front-end, and
+:mod:`repro.service.pool` for the fingerprint-scoped cache sharing and
+persistence model; ``docs/SERVICE.md`` documents the subsystem end to end.
 """
 
 from repro.service.async_service import AsyncVerificationService
-from repro.service.jobs import JobError, JobRequest, JobResult
+from repro.service.jobs import JobError, JobRequest, JobResult, RetryPolicy
 from repro.service.pool import CacheBundle, FingerprintCachePool
 from repro.service.scheduler import (
     TRANSPORTS,
     ServiceConfig,
     VerificationService,
+)
+from repro.service.supervisor import (
+    ProcessTransportUnavailable,
+    WorkerCrashed,
+    WorkerSupervisor,
 )
 
 __all__ = [
@@ -23,7 +30,11 @@ __all__ = [
     "JobError",
     "JobRequest",
     "JobResult",
+    "ProcessTransportUnavailable",
+    "RetryPolicy",
     "ServiceConfig",
     "TRANSPORTS",
     "VerificationService",
+    "WorkerCrashed",
+    "WorkerSupervisor",
 ]

@@ -45,7 +45,9 @@ class AsyncVerificationService:
             job_id = await svc.submit(network, spec, deadline_seconds=5.0)
             done = await svc.result(job_id)
 
-    ``config.transport`` is forced to ``"threaded"`` — an asyncio front-end
+    The underlying transport must be self-driving: ``"threaded"`` (the
+    default) and ``"process"`` pass through unchanged, while
+    ``"cooperative"`` is coerced to ``"threaded"`` — an asyncio front-end
     over the cooperative transport would deadlock (nothing would drive the
     scheduler while the loop awaits).
     """
@@ -54,7 +56,7 @@ class AsyncVerificationService:
                  verifier_factory=None, max_pending: int = 32) -> None:
         require(max_pending >= 1, "max_pending must be positive")
         base = config or ServiceConfig()
-        if base.transport != "threaded":
+        if base.transport == "cooperative":
             base = dataclasses.replace(base, transport="threaded")
         self._service = VerificationService(base, verifier_factory)
         self._service.add_completion_listener(self._dispatch_from_thread)

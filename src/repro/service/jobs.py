@@ -9,17 +9,21 @@ the verifier's own :class:`~repro.verifiers.result.VerificationResult`.
 
 Failures are *data*, not exceptions: a worker raising mid-round, a poisoned
 cache entry, or a broken verifier factory produces a :class:`JobError` on
-that job's result while every other job in the pool keeps running.
+that job's result while every other job in the pool keeps running.  Which
+failures are worth *retrying* — and how the retries back off — is policy,
+not scheduler code, so it lives here too as :class:`RetryPolicy`.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
+from repro.utils.validation import require
 from repro.verifiers.result import VerificationResult
 
 
@@ -47,13 +51,82 @@ class JobRequest:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the service re-runs a failed job.
+
+    A job whose :class:`JobError` kind appears in ``retryable_kinds`` is
+    re-enqueued instead of finalised, up to ``max_attempts`` total
+    executions, with exponential backoff between attempts:
+    ``backoff_seconds * backoff_multiplier**(attempt-1)``, capped at
+    ``max_backoff_seconds`` and spread by *deterministic* jitter — a pure
+    function of ``(job_id, attempt)``, so retry schedules are replayable
+    while distinct jobs retrying after one worker crash still fan out
+    instead of thundering back in lockstep.
+
+    The default only retries ``"WorkerCrash"`` — the error the process
+    transport synthesises when a worker process dies under a job — because
+    an in-process Python exception is deterministic (retrying it would
+    yield the same exception) while losing a worker says nothing about the
+    job itself.  Deployments whose verifier factories can fail transiently
+    (a flaky model store, a remote LP solver) extend ``retryable_kinds``
+    with those exception names.
+    """
+
+    #: Total executions a job may consume (first run + retries).
+    max_attempts: int = 3
+    #: Base delay before the first retry, in seconds.
+    backoff_seconds: float = 0.05
+    #: Multiplier applied per additional attempt (exponential backoff).
+    backoff_multiplier: float = 2.0
+    #: Ceiling on any single backoff delay.
+    max_backoff_seconds: float = 2.0
+    #: Fractional jitter width: delays vary by ±this fraction.
+    jitter_fraction: float = 0.25
+    #: ``JobError.kind`` values worth re-running.
+    retryable_kinds: Tuple[str, ...] = ("WorkerCrash",)
+
+    def __post_init__(self) -> None:
+        require(self.max_attempts >= 1, "max_attempts must be positive")
+        require(self.backoff_seconds >= 0.0,
+                "backoff_seconds must be non-negative")
+        require(self.backoff_multiplier >= 1.0,
+                "backoff_multiplier must be at least 1.0")
+        require(self.max_backoff_seconds >= 0.0,
+                "max_backoff_seconds must be non-negative")
+        require(0.0 <= self.jitter_fraction < 1.0,
+                "jitter_fraction must be in [0, 1)")
+
+    def retryable(self, kind: str) -> bool:
+        """Whether a :class:`JobError` of ``kind`` should be retried."""
+        return kind in self.retryable_kinds
+
+    def delay_seconds(self, job_id: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``job_id``.
+
+        Deterministic: the jitter comes from a CRC of ``job_id:attempt``,
+        not from a global RNG, so the same job retries on the same schedule
+        in every run while different jobs de-synchronise.
+        """
+        require(attempt >= 1, "attempt must be positive")
+        base = min(self.backoff_seconds
+                   * self.backoff_multiplier ** (attempt - 1),
+                   self.max_backoff_seconds)
+        seed = zlib.crc32(f"{job_id}:{attempt}".encode("utf-8"))
+        unit = (seed % 10_000) / 10_000.0  # [0, 1), uniform enough for spread
+        return base * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+@dataclass(frozen=True)
 class JobError:
     """Structured description of why one job failed.
 
-    ``kind`` is the exception class name, ``stage`` the scheduler stage it
-    escaped from (``"setup"`` — building the verifier or its run — or
-    ``"round"`` — stepping the run).  The error is confined to its job: the
-    pool, the other jobs, and (after quarantine) the caches stay healthy.
+    ``kind`` is the exception class name — or the synthetic
+    ``"WorkerCrash"`` when a worker *process* died (or hung past its slice
+    timeout) while executing the job — and ``stage`` the scheduler stage it
+    escaped from: ``"submit"`` (request validation), ``"setup"`` (building
+    the verifier or its run) or ``"round"`` (stepping the run).  The error
+    is confined to its job: the pool, the other jobs, and (after
+    quarantine) the caches stay healthy.
     """
 
     kind: str
@@ -75,6 +148,13 @@ class JobResult:
     shared bundle the cumulative counters in ``result.extras`` mix several
     jobs' traffic, the deltas here do not.  ``deadline_exceeded`` marks a
     TIMEOUT forced by the job's deadline rather than its own budget.
+
+    ``attempts`` counts executions: 1 for a job that ran once, more when
+    the :class:`RetryPolicy` re-ran it after a retryable failure or a
+    worker crash (0 only for requests rejected at submit time).
+    ``worker_crashes`` counts worker-process deaths attributed to this job
+    — the poison-job gauge: it reaches ``RetryPolicy.max_attempts`` exactly
+    when the job is failed with ``JobError(kind="WorkerCrash")``.
     """
 
     job_id: str
@@ -85,6 +165,8 @@ class JobResult:
     wait_slices: int = 0
     latency_seconds: float = 0.0
     deadline_exceeded: bool = False
+    attempts: int = 1
+    worker_crashes: int = 0
     cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property

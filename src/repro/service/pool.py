@@ -103,6 +103,61 @@ class CacheBundle:
         return {key: after[key] - before.get(key, 0) for key in after}
 
     # -- persistence -----------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The versioned handover payload of this bundle.
+
+        The exact structure :meth:`save` pickles to disk — the process
+        transport sends the same payload over a worker pipe, so on-disk
+        bundles and live worker handovers share one format (and one
+        validator, :meth:`from_payload`).
+        """
+        return {
+            "kind": _BUNDLE_KIND,
+            "format": BUNDLE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "lp_max_entries": self.lp_cache.max_entries,
+            "bound_max_entries": self.bound_cache.max_entries,
+            "lp_entries": self.lp_cache.export_entries(),
+            "bound_entries": self.bound_cache.export_entries(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload, expected_fingerprint: Optional[str] = None,
+                     lp_cache_size: Optional[int] = None,
+                     bound_cache_size: Optional[int] = None,
+                     source: str = "payload") -> "CacheBundle":
+        """Rebuild a bundle from a :meth:`to_payload` dict, validating it.
+
+        Checks the payload kind, format version and (when
+        ``expected_fingerprint`` is given) the fingerprint — a bundle must
+        never warm-start a *different* verification problem.  Cache
+        capacities default to the saved ones; passing smaller sizes simply
+        evicts the oldest entries on import.  Restored caches start with
+        fresh (zero) counters.  Raises :class:`ValueError` for anything
+        that is not a healthy bundle payload; ``source`` names the payload's
+        origin (a path, a worker) in those errors.
+        """
+        if not isinstance(payload, dict) or payload.get("kind") != _BUNDLE_KIND:
+            raise ValueError(f"not a cache-bundle payload: {source}")
+        if payload.get("format") != BUNDLE_FORMAT:
+            raise ValueError(
+                f"unsupported cache-bundle format {payload.get('format')!r} "
+                f"(expected {BUNDLE_FORMAT}): {source}")
+        fingerprint = payload["fingerprint"]
+        if (expected_fingerprint is not None
+                and fingerprint != expected_fingerprint):
+            raise ValueError(
+                f"cache bundle {source} belongs to fingerprint "
+                f"{fingerprint[:12]}…, not {expected_fingerprint[:12]}…")
+        lp_cache = LpCache(lp_cache_size if lp_cache_size is not None
+                           else payload["lp_max_entries"])
+        bound_cache = BoundCache(bound_cache_size
+                                 if bound_cache_size is not None
+                                 else payload["bound_max_entries"])
+        lp_cache.import_entries(payload["lp_entries"])
+        bound_cache.import_entries(payload["bound_entries"])
+        return cls(fingerprint, lp_cache=lp_cache, bound_cache=bound_cache)
+
     def save(self, path) -> Path:
         """Serialise this bundle's cache entries to ``path`` (atomically).
 
@@ -112,15 +167,7 @@ class CacheBundle:
         truncated bundle behind.  Returns the written path.
         """
         path = Path(path)
-        payload = {
-            "kind": _BUNDLE_KIND,
-            "format": BUNDLE_FORMAT,
-            "fingerprint": self.fingerprint,
-            "lp_max_entries": self.lp_cache.max_entries,
-            "bound_max_entries": self.bound_cache.max_entries,
-            "lp_entries": self.lp_cache.export_entries(),
-            "bound_entries": self.bound_cache.export_entries(),
-        }
+        payload = self.to_payload()
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as handle:
@@ -134,13 +181,10 @@ class CacheBundle:
              bound_cache_size: Optional[int] = None) -> "CacheBundle":
         """Rebuild a bundle from a :meth:`save` file.
 
-        Validates the payload kind, format version and (when
-        ``expected_fingerprint`` is given) the fingerprint — a bundle must
-        never warm-start a *different* verification problem.  Cache
-        capacities default to the saved ones; passing smaller sizes simply
-        evicts the oldest entries on import.  Restored caches start with
-        fresh (zero) counters.  Raises :class:`ValueError` for anything
-        that is not a healthy bundle file.
+        Reads the pickled payload and delegates every structural check to
+        :meth:`from_payload` — see there for the validation contract.
+        Raises :class:`ValueError` for anything that is not a healthy
+        bundle file.
         """
         try:
             with open(path, "rb") as handle:
@@ -149,26 +193,9 @@ class CacheBundle:
             raise
         except Exception as exc:  # noqa: BLE001 - any unpickling failure
             raise ValueError(f"not a cache-bundle file: {path}") from exc
-        if not isinstance(payload, dict) or payload.get("kind") != _BUNDLE_KIND:
-            raise ValueError(f"not a cache-bundle file: {path}")
-        if payload.get("format") != BUNDLE_FORMAT:
-            raise ValueError(
-                f"unsupported cache-bundle format {payload.get('format')!r} "
-                f"(expected {BUNDLE_FORMAT}): {path}")
-        fingerprint = payload["fingerprint"]
-        if (expected_fingerprint is not None
-                and fingerprint != expected_fingerprint):
-            raise ValueError(
-                f"cache bundle {path} belongs to fingerprint "
-                f"{fingerprint[:12]}…, not {expected_fingerprint[:12]}…")
-        lp_cache = LpCache(lp_cache_size if lp_cache_size is not None
-                           else payload["lp_max_entries"])
-        bound_cache = BoundCache(bound_cache_size
-                                 if bound_cache_size is not None
-                                 else payload["bound_max_entries"])
-        lp_cache.import_entries(payload["lp_entries"])
-        bound_cache.import_entries(payload["bound_entries"])
-        return cls(fingerprint, lp_cache=lp_cache, bound_cache=bound_cache)
+        return cls.from_payload(payload, expected_fingerprint,
+                                lp_cache_size, bound_cache_size,
+                                source=str(path))
 
 
 class FingerprintCachePool:
@@ -224,6 +251,25 @@ class FingerprintCachePool:
                 self._bundles[fingerprint] = found
             return found
 
+    def adopt_payload(self, payload, source: str = "worker") -> str:
+        """Import a :meth:`CacheBundle.to_payload` dict into the pool.
+
+        The worker-handover counterpart of :meth:`load_bundles`: a process
+        transport shutting down collects each worker's warm bundles over the
+        pipe and adopts them here, replacing any same-fingerprint bundle
+        (the worker's copy is strictly warmer — the pool stopped seeing its
+        traffic at handover).  Capacities follow the pool's configuration.
+        Returns the adopted fingerprint; raises :class:`ValueError` on a
+        malformed payload.
+        """
+        bundle = CacheBundle.from_payload(payload,
+                                          lp_cache_size=self.lp_cache_size,
+                                          bound_cache_size=self.bound_cache_size,
+                                          source=source)
+        with self._lock:
+            self._bundles[bundle.fingerprint] = bundle
+        return bundle.fingerprint
+
     def discard(self, fingerprint: str) -> bool:
         """Quarantine a fingerprint: drop its bundle (recreated cold on demand).
 
@@ -274,9 +320,21 @@ class FingerprintCachePool:
         (the restart scenario: the pool is cold) and adopt the pool's
         configured cache capacities.  Returns the number of bundles
         restored; raises :class:`ValueError` on a corrupt or alien file.
+
+        Stale ``*.tmp`` files — the residue of a :meth:`CacheBundle.save`
+        interrupted between opening its temp file and the atomic
+        ``os.replace`` — are ignored and deleted: they are never valid
+        bundles (truncated at best) and a crash-restart loop must not
+        accumulate them.
         """
         loaded = 0
-        for path in sorted(Path(directory).glob(f"*{BUNDLE_SUFFIX}")):
+        directory = Path(directory)
+        for stale in sorted(directory.glob(f"*{BUNDLE_SUFFIX}.tmp")):
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # a racing writer re-created it; their os.replace wins
+        for path in sorted(directory.glob(f"*{BUNDLE_SUFFIX}")):
             bundle = CacheBundle.load(path,
                                       lp_cache_size=self.lp_cache_size,
                                       bound_cache_size=self.bound_cache_size)

@@ -1,0 +1,350 @@
+"""The ``"process"`` transport: fingerprint shards in worker processes.
+
+One supervised worker *process* per shard executes that shard's jobs while
+the scheduler's shard thread keeps running the usual per-worker policy
+(priority, bounded wait, deadlines) in the parent — each scheduling slice
+becomes a pipe round-trip (:class:`ShardExecutor`) instead of an in-process
+``run.step()`` loop, so the interleaving semantics and therefore the
+transport-conformance properties are untouched.  What the process boundary
+buys is *crash isolation*: a segfaulting LP solve, an OOM-killed worker or
+a plain SIGKILL takes down one shard's process, which the supervisor
+detects and restarts, and the scheduler retries the interrupted jobs under
+its :class:`~repro.service.jobs.RetryPolicy` — the host service never dies.
+
+Protocol
+--------
+Messages are dicts over a duplex pipe, one reply per request:
+
+* ``ping`` → ``pong`` (liveness probe);
+* ``bundle`` — hand over a fingerprint's cache bundle as a
+  :meth:`~repro.service.pool.CacheBundle.to_payload` dict (the on-disk
+  save/load format, shipped over the pipe instead of through a file);
+* ``start`` — build the job's verifier on the worker-local bundle and open
+  its run; ``slice`` — advance a run up to N rounds, honouring the job's
+  deadline via ``interrupt()`` exactly like the in-process transports;
+* ``discard`` — quarantine a fingerprint's worker-local bundle;
+* ``collect`` — ship every worker-local bundle back as payloads (used at
+  shutdown so the parent pool keeps the warmth accumulated in the worker);
+* ``stop`` — exit the worker loop.
+
+In-worker Python exceptions are *data* (``error`` replies that become
+structured ``JobError``\\ s); only process death is a crash.  The
+worker-local caches are rebuilt from the parent pool's bundles on every
+restart, so a crash costs warmth, never correctness.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Callable, Optional, Set
+
+from repro.service.jobs import JobError, JobRequest
+from repro.service.pool import CacheBundle, FingerprintCachePool
+from repro.service.supervisor import WorkerSupervisor
+
+#: Exception types ``pickle`` raises for payloads that cannot cross the
+#: pipe (lambdas, closures over live objects); they trigger the per-job
+#: inline fallback rather than a job failure.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+class UnpicklableJob(RuntimeError):
+    """A job's payload (factory, network, spec) cannot cross the pipe.
+
+    Not a failure: the scheduler catches this and runs the job *inline* on
+    the shard thread instead — graceful degradation for jobs carrying
+    closures while picklable jobs on the same shard keep their process
+    isolation.
+    """
+
+
+def _default_factory(bundle: CacheBundle):
+    """The worker-side default verifier factory (parent sent none)."""
+    from repro.service.scheduler import _default_verifier_factory
+    return _default_verifier_factory(bundle)
+
+
+def _synthetic_timeout():
+    """A TIMEOUT result for a run interrupted before it produced one."""
+    from repro.verifiers.result import VerificationResult, VerificationStatus
+    return VerificationResult(status=VerificationStatus.TIMEOUT,
+                              verifier="service", elapsed_seconds=0.0)
+
+
+def worker_main(conn, lp_cache_size: int, bound_cache_size: int) -> None:
+    """Entry point of one shard's worker process.
+
+    Serves protocol requests until ``stop`` or pipe EOF.  Holds the
+    worker-local state: fingerprint-keyed :class:`CacheBundle`\\ s (seeded
+    by ``bundle`` handovers, replaced wholesale on ``discard``) and the
+    open verifier runs keyed by job id.  Every per-op exception is caught
+    and answered as an ``error`` reply — the loop itself only dies with the
+    process, which is exactly the event the parent supervisor watches for.
+    """
+    bundles = {}
+    runs = {}
+
+    def bundle_for(fingerprint: str) -> CacheBundle:
+        found = bundles.get(fingerprint)
+        if found is None:
+            from repro.bounds.cache import BoundCache, LpCache
+            found = CacheBundle(fingerprint,
+                                lp_cache=LpCache(lp_cache_size),
+                                bound_cache=BoundCache(bound_cache_size))
+            bundles[fingerprint] = found
+        return found
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message.get("op")
+        if op == "stop":
+            try:
+                conn.send({"op": "bye"})
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            conn.send(_serve(message, op, bundles, bundle_for, runs))
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _serve(message: dict, op: str, bundles: dict, bundle_for, runs: dict) -> dict:
+    """Dispatch one protocol request to a reply dict (never raises)."""
+    if op == "ping":
+        return {"op": "pong"}
+    if op == "bundle":
+        try:
+            bundles[message["fingerprint"]] = CacheBundle.from_payload(
+                message["payload"],
+                expected_fingerprint=message["fingerprint"],
+                source="handover")
+            return {"op": "ok"}
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            return {"op": "error", "kind": type(exc).__name__,
+                    "message": str(exc), "stage": "setup", "cache_delta": {}}
+    if op == "discard":
+        bundles.pop(message["fingerprint"], None)
+        return {"op": "ok"}
+    if op == "collect":
+        return {"op": "bundles",
+                "payloads": [bundle.to_payload()
+                             for bundle in bundles.values()]}
+    if op == "start":
+        return _serve_start(message, bundle_for, runs)
+    if op == "slice":
+        return _serve_slice(message, bundles, runs)
+    return {"op": "error", "kind": "ProtocolError",
+            "message": f"unknown op {op!r}", "stage": "round",
+            "cache_delta": {}}
+
+
+def _serve_start(message: dict, bundle_for, runs: dict) -> dict:
+    """Build the job's verifier and open its run on the local bundle."""
+    bundle = bundle_for(message["fingerprint"])
+    before = bundle.stats_snapshot()
+    try:
+        factory_bytes = message.get("factory")
+        factory = (_default_factory if factory_bytes is None
+                   else pickle.loads(factory_bytes))
+        verifier = factory(bundle)
+        run = verifier.start_run(message["network"], message["spec"],
+                                 message["budget"])
+        runs[message["job_id"]] = (run, message["fingerprint"])
+        reply = {"op": "ok"}
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        reply = {"op": "error", "kind": type(exc).__name__,
+                 "message": str(exc), "stage": "setup"}
+    reply["cache_delta"] = CacheBundle.stats_delta(before,
+                                                   bundle.stats_snapshot())
+    return reply
+
+
+def _serve_slice(message: dict, bundles: dict, runs: dict) -> dict:
+    """Advance one run up to ``rounds`` rounds, honouring the deadline."""
+    job_id = message["job_id"]
+    entry = runs.get(job_id)
+    if entry is None:
+        return {"op": "error", "kind": "ProtocolError",
+                "message": f"no open run for {job_id}", "stage": "round",
+                "cache_delta": {}}
+    run, fingerprint = entry
+    bundle = bundles.get(fingerprint)
+    before = {} if bundle is None else bundle.stats_snapshot()
+    deadline_at = message.get("deadline_at")
+    result = None
+    error = None
+    deadline_exceeded = False
+    try:
+        for _ in range(message["rounds"]):
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                result = run.interrupt() or _synthetic_timeout()
+                deadline_exceeded = True
+                break
+            result = run.step()
+            if result is not None:
+                break
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        error = {"kind": type(exc).__name__, "message": str(exc),
+                 "stage": "round"}
+    delta = ({} if bundle is None
+             else CacheBundle.stats_delta(before, bundle.stats_snapshot()))
+    if error is not None:
+        runs.pop(job_id, None)
+        return {"op": "error", "cache_delta": delta, **error}
+    if result is not None:
+        runs.pop(job_id, None)
+        return {"op": "done", "result": result,
+                "deadline_exceeded": deadline_exceeded, "cache_delta": delta}
+    return {"op": "more", "cache_delta": delta}
+
+
+class ShardExecutor:
+    """Parent-side handle of one shard's worker process.
+
+    Owns the shard's :class:`~repro.service.supervisor.WorkerSupervisor`
+    and the handover bookkeeping: which fingerprints' bundles the current
+    worker generation has received, and which jobs hold open runs in it.
+    Used only from the shard's scheduler thread, so it needs no locking.
+    Crash handling is split: the executor *detects* (its supervisor raises
+    :class:`~repro.service.supervisor.WorkerCrashed`) while the scheduler
+    decides (retry, poison, degrade) and then calls :meth:`restart`.
+    """
+
+    def __init__(self, index: int, lp_cache_size: int, bound_cache_size: int,
+                 start_method: Optional[str] = None,
+                 slice_timeout: Optional[float] = None) -> None:
+        self.index = index
+        self.slice_timeout = slice_timeout
+        self.handed_over: Set[str] = set()
+        self.active_jobs: Set[str] = set()
+        self.supervisor = WorkerSupervisor(
+            target=worker_main, args=(lp_cache_size, bound_cache_size),
+            start_method=start_method, name=f"verification-shard-{index}")
+        self.supervisor.start()
+
+    # -- lifecycle -------------------------------------------------------------
+    def alive(self) -> bool:
+        """Whether the shard's worker process is running."""
+        return self.supervisor.alive()
+
+    def restart(self) -> None:
+        """Replace a dead worker with a fresh one (handover state reset).
+
+        The new generation holds no bundles and no runs — fingerprints are
+        re-handed from the parent pool on next use and interrupted jobs
+        restart from scratch, which keeps their trajectories identical to
+        an uninterrupted run (the run never resumes mid-state).
+        """
+        self.handed_over.clear()
+        self.active_jobs.clear()
+        self.supervisor.restart()
+
+    def stop(self, pool: Optional[FingerprintCachePool] = None) -> None:
+        """Stop the worker, optionally collecting its warm bundles first.
+
+        With ``pool`` given, the worker's bundles are shipped back over the
+        pipe and adopted into the parent pool (same payload format as
+        :meth:`CacheBundle.save`), so ``save_caches()`` after a process-run
+        persists the warmth the workers accumulated.  Best-effort: a dead
+        or unresponsive worker just gets killed.
+        """
+        if pool is not None and self.alive():
+            try:
+                reply = self.supervisor.request({"op": "collect"},
+                                                timeout=10.0)
+                for payload in reply.get("payloads", ()):
+                    pool.adopt_payload(payload,
+                                       source=f"worker-{self.index}")
+            except Exception:  # noqa: BLE001 - shutdown is best-effort
+                pass
+        self.supervisor.stop()
+
+    # -- job execution ---------------------------------------------------------
+    def start_job(self, job_id: str, fingerprint: str, request: JobRequest,
+                  factory: Optional[Callable],
+                  pool: FingerprintCachePool) -> dict:
+        """Open ``job_id``'s run in the worker; the worker's reply dict.
+
+        The reply is ``{"op": "ok"/"error", "cache_delta": ...}`` — the
+        scheduler folds the delta into the job's counters and turns
+        ``error`` replies into a setup-stage :class:`JobError` via
+        :func:`reply_error`.  Hands the fingerprint's bundle over first
+        when this worker generation has not seen it.  Raises
+        :class:`UnpicklableJob` when the request cannot cross the pipe (the
+        scheduler then runs the job inline) and
+        :class:`~repro.service.supervisor.WorkerCrashed` when the worker
+        died underneath the request.
+        """
+        if fingerprint not in self.handed_over:
+            payload = pool.bundle(fingerprint).to_payload()
+            reply = self.supervisor.request(
+                {"op": "bundle", "fingerprint": fingerprint,
+                 "payload": payload}, timeout=self.slice_timeout)
+            if reply.get("op") == "error":
+                return reply
+            self.handed_over.add(fingerprint)
+        factory_bytes = None
+        if factory is not None:
+            try:
+                factory_bytes = pickle.dumps(factory)
+            except _PICKLE_ERRORS as exc:
+                raise UnpicklableJob(
+                    f"verifier factory does not pickle: {exc}") from exc
+        message = {"op": "start", "job_id": job_id,
+                   "fingerprint": fingerprint, "network": request.network,
+                   "spec": request.spec, "budget": request.budget,
+                   "factory": factory_bytes}
+        try:
+            reply = self.supervisor.request(message,
+                                            timeout=self.slice_timeout)
+        except _PICKLE_ERRORS as exc:
+            raise UnpicklableJob(
+                f"job payload does not pickle: {exc}") from exc
+        if reply.get("op") != "error":
+            self.active_jobs.add(job_id)
+        return reply
+
+    def run_slice(self, job_id: str, rounds: int,
+                  deadline_at: Optional[float]) -> dict:
+        """Advance ``job_id`` by up to ``rounds`` rounds; the reply dict.
+
+        ``deadline_at`` is the job's absolute ``time.monotonic()`` deadline
+        — comparable across processes on one host (CLOCK_MONOTONIC is
+        system-wide on Linux), so the worker enforces it exactly like the
+        in-process transports do.  Terminal replies (``done`` / ``error``)
+        release the job's slot.
+        """
+        reply = self.supervisor.request(
+            {"op": "slice", "job_id": job_id, "rounds": rounds,
+             "deadline_at": deadline_at}, timeout=self.slice_timeout)
+        if reply.get("op") in ("done", "error"):
+            self.active_jobs.discard(job_id)
+        return reply
+
+    def discard(self, fingerprint: str) -> None:
+        """Quarantine a fingerprint's worker-local bundle (best-effort).
+
+        Mirrors the parent pool's quarantine: the next job on the
+        fingerprint re-hands a fresh (post-quarantine) bundle, so poisoned
+        entries never survive in the worker either.
+        """
+        self.handed_over.discard(fingerprint)
+        if not self.alive():
+            return
+        try:
+            self.supervisor.request({"op": "discard",
+                                     "fingerprint": fingerprint},
+                                    timeout=self.slice_timeout)
+        except Exception:  # noqa: BLE001 - next dispatch handles a dead worker
+            pass
+
+
+def reply_error(reply: dict) -> JobError:
+    """Translate a worker ``error`` reply into a structured JobError."""
+    return JobError(reply.get("kind", "WorkerError"),
+                    reply.get("message", ""), reply.get("stage", "round"))

@@ -4,7 +4,7 @@ The service turns the library's verifiers into a batch/streaming facility:
 many ``(network, property, budget)`` jobs run interleaved, preempted only at
 :class:`~repro.engine.driver.FrontierDriver` round boundaries (where the
 verifiers' ``affordable_phases`` budget accounting already makes stopping
-sound).  Two execution transports share one API and one scheduling policy
+sound).  Three execution transports share one API and one scheduling policy
 (see ``docs/SERVICE.md#transports``):
 
 * ``"cooperative"`` — single-threaded and fully deterministic: one job
@@ -17,11 +17,20 @@ sound).  Two execution transports share one API and one scheduling policy
   ordering guarantees.  Results stream in completion order (nondeterministic
   across workers); :meth:`VerificationService.run_until_complete` restores
   deterministic submission order at the collection point.
+* ``"process"`` — one supervised worker *process* per shard: the shard
+  thread keeps running the per-worker policy in the parent, but each slice
+  executes in the shard's process via a pipe round-trip (see
+  ``repro.service.process_transport``).  The shard's cache bundle is handed
+  over in the ``CacheBundle.save()`` payload format and shipped back at
+  shutdown, so warmth survives the process boundary.  What the extra hop
+  buys is *crash isolation*: a worker death — segfault, OOM kill, SIGKILL —
+  detected by the supervisor, the worker restarts, and interrupted jobs are
+  retried under the :class:`~repro.service.jobs.RetryPolicy`.
 
 Either way a job's verdict, budget charges and counterexample are
 byte-identical to an uninterrupted solo run — the caches shared between
 jobs return exactly what recomputation would, so multiplexing buys *reuse*
-(and, threaded, parallelism), never races.
+(and, threaded/process, parallelism), never races.
 
 Scheduling policy
 -----------------
@@ -44,6 +53,16 @@ Scheduling policy
   in case a poisoned entry caused the failure, and every other job — on the
   same worker or not — continues untouched.  Under the threaded transport a
   failing job never takes its worker thread down.
+* **Retry & supervision** (``docs/SERVICE.md#fault-model--supervision``):
+  failures whose ``JobError.kind`` is in ``RetryPolicy.retryable_kinds``
+  re-enqueue the job with deterministic exponential backoff instead of
+  finalising it.  Under the process transport a dead worker surfaces as a
+  synthetic ``"WorkerCrash"`` (retryable by default); a job that kills its
+  worker ``max_attempts`` times is *poison* and fails without taking the
+  service down.  A shard whose worker keeps dying beyond
+  ``worker_crash_budget`` — or a host that cannot spawn processes at all —
+  *degrades* to in-process execution on the shard thread, recorded in
+  :meth:`VerificationService.stats` under ``transport_downgrades``.
 """
 
 from __future__ import annotations
@@ -56,8 +75,14 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.bounds.cache import DEFAULT_CACHE_SIZE, DEFAULT_LP_CACHE_SIZE
 from repro.nn.network import Network
-from repro.service.jobs import JobError, JobRequest, JobResult
+from repro.service.jobs import JobError, JobRequest, JobResult, RetryPolicy
 from repro.service.pool import CacheBundle, FingerprintCachePool
+from repro.service.process_transport import (
+    ShardExecutor,
+    UnpicklableJob,
+    reply_error,
+)
+from repro.service.supervisor import ProcessTransportUnavailable, WorkerCrashed
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
 from repro.utils.validation import require
@@ -69,8 +94,12 @@ from repro.verifiers.result import (
 
 #: Execution transports accepted by :attr:`ServiceConfig.transport`.  The
 #: asyncio front-end (:class:`~repro.service.async_service.AsyncVerificationService`)
-#: is a wrapper over ``"threaded"``, not a third scheduler.
-TRANSPORTS = ("cooperative", "threaded")
+#: is a wrapper over the self-driving transports, not a fourth scheduler.
+TRANSPORTS = ("cooperative", "threaded", "process")
+
+#: Seconds a worker sleeps between queue probes while every pending job on
+#: it is inside a retry-backoff window.
+_BACKOFF_POLL_SECONDS = 0.005
 
 
 def _default_verifier_factory(bundle: CacheBundle):
@@ -87,7 +116,8 @@ class ServiceConfig:
     """Knobs of the verification service (see the module docstring)."""
 
     #: Number of workers jobs are sharded across (threads when
-    #: ``transport="threaded"``, cooperative queues otherwise).
+    #: ``transport="threaded"``, supervised processes when ``"process"``,
+    #: cooperative queues otherwise).
     pool_size: int = 2
     #: Driver rounds one job advances per scheduling slice.
     rounds_per_slice: int = 4
@@ -100,8 +130,20 @@ class ServiceConfig:
     #: Capacity of each fingerprint bundle's bound cache.
     bound_cache_size: int = DEFAULT_CACHE_SIZE
     #: Execution transport: ``"cooperative"`` (caller-driven, deterministic
-    #: interleaving) or ``"threaded"`` (one worker thread per shard).
+    #: interleaving), ``"threaded"`` (one worker thread per shard) or
+    #: ``"process"`` (one supervised worker process per shard).
     transport: str = "cooperative"
+    #: When and how failed jobs are re-run (worker crashes by default).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Worker-process deaths one shard tolerates before it degrades to
+    #: in-process execution (process transport only).
+    worker_crash_budget: int = 3
+    #: Pin the multiprocessing start method (``"fork"``/``"spawn"``); ``None``
+    #: prefers fork and falls back to spawn.
+    process_start_method: Optional[str] = None
+    #: Kill a worker process whose reply to one slice takes longer than this
+    #: (hung-worker containment); ``None`` waits forever.
+    slice_timeout_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         require(self.pool_size >= 1, "pool_size must be positive")
@@ -109,6 +151,11 @@ class ServiceConfig:
         require(self.max_wait_slices >= 1, "max_wait_slices must be positive")
         require(self.transport in TRANSPORTS,
                 f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
+        require(self.worker_crash_budget >= 1,
+                "worker_crash_budget must be positive")
+        require(self.slice_timeout_seconds is None
+                or self.slice_timeout_seconds > 0,
+                "slice_timeout_seconds must be positive when given")
 
 
 @dataclass
@@ -126,6 +173,16 @@ class _Job:
     wait: int = 0
     total_wait: int = 0
     slices: int = 0
+    # Executions begun (inline run creations + remote run starts).
+    attempts: int = 0
+    # Worker-process deaths attributed to this job (the poison gauge).
+    crashes: int = 0
+    # Earliest monotonic time the next attempt may start (retry backoff).
+    not_before: float = 0.0
+    # Whether the job's run is currently open in the shard's worker process.
+    remote_started: bool = False
+    # Pinned to in-process execution (payload does not pickle).
+    inline_only: bool = False
     cache_stats: Dict[str, int] = field(default_factory=dict)
     done: Optional[JobResult] = None
 
@@ -136,7 +193,10 @@ class _Worker:
     ``lock`` guards the job list; ``wake`` (a condition on the same lock)
     lets a threaded worker sleep while its queue is empty and be woken by
     submissions or shutdown.  The cooperative transport takes the same lock
-    — uncontended, so effectively free — which keeps one code path.
+    — uncontended, so effectively free — which keeps one code path.  Under
+    the process transport the shard thread additionally owns ``executor``
+    (the supervised worker process) and the crash bookkeeping that decides
+    when the shard ``degraded`` back to in-process execution.
     """
 
     def __init__(self, index: int) -> None:
@@ -145,6 +205,9 @@ class _Worker:
         self.lock = threading.RLock()
         self.wake = threading.Condition(self.lock)
         self.thread: Optional[threading.Thread] = None
+        self.executor: Optional[ShardExecutor] = None
+        self.degraded: Optional[str] = None
+        self.crashes: int = 0
 
 
 class VerificationService:
@@ -161,10 +224,10 @@ class VerificationService:
     submit-and-stream convenience.  Under the default cooperative transport
     the caller drives the service by iterating :meth:`as_completed` (or
     calling :meth:`step` directly) and determinism follows; under
-    ``transport="threaded"`` worker threads drive themselves, results stream
-    in completion order, and the service should be :meth:`shutdown` (or used
-    as a context manager) when done.  :meth:`as_completed` supports one
-    consumer at a time.
+    ``transport="threaded"`` / ``"process"`` workers drive themselves,
+    results stream in completion order, and the service should be
+    :meth:`shutdown` (or used as a context manager) when done.
+    :meth:`as_completed` supports one consumer at a time.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None,
@@ -181,7 +244,14 @@ class VerificationService:
         self._next_worker = 0
         self._slices = 0
         self._failed = 0
+        self._rejected = 0
+        self._retries = 0
+        self._worker_crashes = 0
+        self._worker_restarts = 0
+        self._jobs_inline = 0
+        self._downgrades: List[dict] = []
         self._results: "queue.SimpleQueue[JobResult]" = queue.SimpleQueue()
+        self._pending_rejects: List[JobResult] = []
         self._listeners: List[Callable[[JobResult], None]] = []
         self._shutdown = False
         self._threads_started = False
@@ -190,6 +260,11 @@ class VerificationService:
     def threaded(self) -> bool:
         """Whether this service runs the threaded transport."""
         return self.config.transport == "threaded"
+
+    @property
+    def self_driving(self) -> bool:
+        """Whether workers drive themselves (any non-cooperative transport)."""
+        return self.config.transport != "cooperative"
 
     # -- submission ------------------------------------------------------------
     def submit(self, network: Network, spec: Specification,
@@ -207,10 +282,16 @@ class VerificationService:
         return self.submit_request(request)
 
     def submit_request(self, request: JobRequest) -> str:
-        """Enqueue a prebuilt :class:`~repro.service.jobs.JobRequest`."""
-        require(request.deadline_seconds is None
-                or request.deadline_seconds > 0,
-                "deadline_seconds must be positive when given")
+        """Enqueue a prebuilt :class:`~repro.service.jobs.JobRequest`.
+
+        Malformed requests (non-positive deadline or budget limits) are
+        *rejected*, not raised: the job is accepted, immediately finalised
+        with ``JobError(kind="InvalidRequest", stage="submit")`` and
+        ``attempts == 0``, and flows through the normal completion stream —
+        so a batch with one bad request still runs the other jobs and the
+        caller sees the rejection where it sees every other failure.
+        """
+        error = self._validate_request(request)
         fingerprint = self.pool.fingerprint_for(request.network, request.spec)
         now = time.monotonic()
         with self._lock:
@@ -226,14 +307,17 @@ class VerificationService:
                 worker=int(fingerprint[:8], 16) % self.config.pool_size,
                 submitted_at=now,
                 deadline_at=(None if request.deadline_seconds is None
+                             or error is not None
                              else now + request.deadline_seconds),
             )
             self._jobs[job.job_id] = job
+        if error is not None:
+            return self._reject(job, error)
         worker = self._workers[job.worker]
         with worker.wake:
             worker.jobs.append(job)
             worker.wake.notify()
-        if self.threaded:
+        if self.self_driving:
             self._ensure_threads()
         return job.job_id
 
@@ -257,37 +341,43 @@ class VerificationService:
         selects that worker's next job under the priority/bounded-wait
         policy, and advances it up to ``rounds_per_slice`` driver rounds.
         Returns ``None`` while the job needs more slices (or no work is
-        pending).  Only the cooperative transport is caller-stepped; under
-        ``transport="threaded"`` the workers drive themselves and this
-        method raises.
+        pending, or every pending job sits in a retry-backoff window).
+        Only the cooperative transport is caller-stepped; under
+        ``transport="threaded"`` / ``"process"`` the workers drive
+        themselves and this method raises.
         """
-        require(not self.threaded,
-                "step() drives the cooperative transport; threaded workers "
-                "run autonomously — iterate as_completed() instead")
+        require(not self.self_driving,
+                "step() drives the cooperative transport; threaded/process "
+                "workers run autonomously — iterate as_completed() instead")
         worker = self._pick_worker()
         if worker is None:
+            if self.has_pending():
+                # Every pending job is backing off; don't spin hot.
+                time.sleep(_BACKOFF_POLL_SECONDS)
             return None
         with worker.lock:
             job = self._pick_job(worker)
+            if job is None:  # raced into a backoff window
+                return None
             self._charge_waits(worker, job)
         return self._run_slice(worker, job)
 
     def as_completed(self) -> Iterator[JobResult]:
         """Drive/drain the service, yielding each result as it finishes.
 
-        Cooperative: runs slices inline, deterministically.  Threaded:
-        blocks on the worker threads' completion stream; the yield order is
-        completion order, which is *not* deterministic across workers (use
-        :meth:`run_until_complete` for submission-ordered collection).
+        Cooperative: runs slices inline, deterministically.  Threaded /
+        process: blocks on the workers' completion stream; the yield order
+        is completion order, which is *not* deterministic across workers
+        (use :meth:`run_until_complete` for submission-ordered collection).
         """
-        if self.threaded:
+        if self.self_driving:
             return self._as_completed_threaded()
         return self._as_completed_cooperative()
 
     def run_until_complete(self) -> List[JobResult]:
         """Drain every pending job; results in submission order.
 
-        The deterministic collection point shared by both transports:
+        The deterministic collection point shared by all transports:
         whatever order jobs *finish* in, the returned list is ordered by
         submission, so batch callers observe identical output across
         transports.
@@ -314,29 +404,30 @@ class VerificationService:
                                 listener: Callable[[JobResult], None]) -> None:
         """Register ``listener`` to be called once per finished job.
 
-        Under the threaded transport listeners run on the worker thread that
-        finished the job (the asyncio front-end bridges back to its event
-        loop with ``call_soon_threadsafe``); they must be quick and must not
-        raise.
+        Under the self-driving transports listeners run on the worker
+        thread that finished the job (the asyncio front-end bridges back to
+        its event loop with ``call_soon_threadsafe``); they must be quick
+        and must not raise.
         """
         self._listeners.append(listener)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting submissions and wind the worker threads down.
+        """Stop accepting submissions and wind the workers down.
 
         Pending jobs are *drained*, not dropped: workers finish their queues
         before exiting, so a shutdown after ``run_until_complete`` is
         instant while a premature one still honours every accepted job.
-        Idempotent; a no-op on the cooperative transport apart from
-        rejecting further submissions.  With ``wait`` the calling thread
-        joins the workers.
+        Worker processes ship their warm cache bundles back into the pool
+        before stopping.  Idempotent; a no-op on the cooperative transport
+        apart from rejecting further submissions.  With ``wait`` the
+        calling thread joins the workers.
         """
         with self._lock:
             self._shutdown = True
         for worker in self._workers:
             with worker.wake:
                 worker.wake.notify_all()
-        if wait and self.threaded:
+        if wait and self.self_driving:
             for worker in self._workers:
                 if worker.thread is not None:
                     worker.thread.join()
@@ -356,16 +447,26 @@ class VerificationService:
             return self._jobs[job_id].done
 
     def stats(self) -> dict:
-        """Service-level counters: jobs, slices, pool/cache stats."""
+        """Service-level counters: jobs, slices, robustness, pool stats."""
         with self._lock:
             done = sum(1 for job in self._jobs.values()
                        if job.done is not None)
             submitted = len(self._jobs)
             slices, failed = self._slices, self._failed
+            rejected, retries = self._rejected, self._retries
+            crashes, restarts = self._worker_crashes, self._worker_restarts
+            inline = self._jobs_inline
+            downgrades = [dict(entry) for entry in self._downgrades]
         return {
             "jobs_submitted": submitted,
             "jobs_completed": done,
             "jobs_failed": failed,
+            "jobs_rejected": rejected,
+            "jobs_inline": inline,
+            "retries": retries,
+            "worker_crashes": crashes,
+            "worker_restarts": restarts,
+            "transport_downgrades": downgrades,
             "slices": slices,
             "pool_size": self.config.pool_size,
             "transport": self.config.transport,
@@ -381,9 +482,54 @@ class VerificationService:
         """Warm-start the pool from a :meth:`save_caches` directory."""
         return self.pool.load_bundles(directory)
 
+    # -- submit validation -----------------------------------------------------
+    def _validate_request(self, request: JobRequest) -> Optional[JobError]:
+        """Structured rejection for malformed requests (``None`` when fine)."""
+        if (request.deadline_seconds is not None
+                and request.deadline_seconds <= 0):
+            return JobError(
+                "InvalidRequest",
+                f"deadline_seconds must be positive when given, got "
+                f"{request.deadline_seconds!r}", "submit")
+        budget = request.budget
+        if budget is not None:
+            if budget.max_nodes is not None and budget.max_nodes <= 0:
+                return JobError(
+                    "InvalidRequest",
+                    f"budget.max_nodes must be positive when given, got "
+                    f"{budget.max_nodes!r}", "submit")
+            if budget.max_seconds is not None and budget.max_seconds <= 0:
+                return JobError(
+                    "InvalidRequest",
+                    f"budget.max_seconds must be positive when given, got "
+                    f"{budget.max_seconds!r}", "submit")
+        return None
+
+    def _reject(self, job: _Job, error: JobError) -> str:
+        """Finalise a never-run job with a submit-stage error; its id."""
+        done = JobResult(job_id=job.job_id, fingerprint=job.fingerprint,
+                         error=error, attempts=0)
+        with self._lock:
+            job.done = done
+            self._failed += 1
+            self._rejected += 1
+            if self.self_driving:
+                self._results.put(done)
+            else:
+                self._pending_rejects.append(done)
+        for listener in list(self._listeners):
+            listener(done)
+        return job.job_id
+
     # -- cooperative drive -----------------------------------------------------
     def _as_completed_cooperative(self) -> Iterator[JobResult]:
-        while self.has_pending():
+        while True:
+            with self._lock:
+                rejects, self._pending_rejects = self._pending_rejects, []
+            for done in rejects:
+                yield done
+            if not self.has_pending():
+                return
             finished = self.step()
             if finished is not None:
                 yield finished
@@ -393,7 +539,7 @@ class VerificationService:
             worker = self._workers[(self._next_worker + offset)
                                    % len(self._workers)]
             with worker.lock:
-                if worker.jobs:
+                if worker.jobs and self._pick_job(worker) is not None:
                     self._next_worker = (worker.index + 1) % len(self._workers)
                     return worker
         return None
@@ -415,17 +561,28 @@ class VerificationService:
 
     def _worker_loop(self, worker: _Worker) -> None:
         """Drain ``worker``'s queue: the per-worker policy, on a real thread."""
-        while True:
-            with worker.wake:
-                while not worker.jobs and not self._shutdown:
-                    worker.wake.wait()
-                if not worker.jobs:  # shut down and drained
-                    return
-                job = self._pick_job(worker)
-                self._charge_waits(worker, job)
-            # The slice itself runs without the worker lock so submissions
-            # (and has_pending probes) never wait on a verification round.
-            self._run_slice(worker, job)
+        try:
+            while True:
+                with worker.wake:
+                    job: Optional[_Job] = None
+                    while job is None:
+                        if not worker.jobs:
+                            if self._shutdown:
+                                return
+                            worker.wake.wait()
+                            continue
+                        job = self._pick_job(worker)
+                        if job is None:
+                            # Everything pending is in a retry-backoff
+                            # window; poll until a job becomes runnable.
+                            worker.wake.wait(_BACKOFF_POLL_SECONDS)
+                    self._charge_waits(worker, job)
+                # The slice itself runs without the worker lock so
+                # submissions (and has_pending probes) never wait on a
+                # verification round.
+                self._run_slice(worker, job)
+        finally:
+            self._release_executor(worker)
 
     def _as_completed_threaded(self) -> Iterator[JobResult]:
         self._ensure_threads()
@@ -458,7 +615,7 @@ class VerificationService:
                 other.total_wait += 1
         job.wait = 0
 
-    def _pick_job(self, worker: _Worker) -> _Job:
+    def _pick_job(self, worker: _Worker) -> Optional[_Job]:
         # Starved jobs are served in submission order, *not* largest-wait
         # first: under a continuous stream of submissions every pending job
         # is eventually starved, and largest-wait-first then degenerates to
@@ -466,11 +623,19 @@ class VerificationService:
         # service shrinks toward zero.  FIFO over the starved set bounds any
         # job's gap between slices by max_wait_slices plus one slice per
         # *older* pending job, a set that never grows after submission.
-        starved = [job for job in worker.jobs
+        #
+        # Jobs inside a retry-backoff window (``not_before`` in the future)
+        # are invisible to selection; without retries the filter is a no-op,
+        # so the policy — and the conformance properties — are unchanged.
+        now = time.monotonic()
+        runnable = [job for job in worker.jobs if job.not_before <= now]
+        if not runnable:
+            return None
+        starved = [job for job in runnable
                    if job.wait >= self.config.max_wait_slices]
         if starved:
             return min(starved, key=lambda job: job.seq)
-        return max(worker.jobs,
+        return max(runnable,
                    key=lambda job: (job.request.priority, -job.seq))
 
     def _deadline_passed(self, job: _Job) -> bool:
@@ -478,6 +643,13 @@ class VerificationService:
                 and time.monotonic() >= job.deadline_at)
 
     def _run_slice(self, worker: _Worker, job: _Job) -> Optional[JobResult]:
+        if (self.config.transport == "process" and not job.inline_only
+                and worker.degraded is None):
+            return self._run_slice_remote(worker, job)
+        return self._run_slice_inline(worker, job)
+
+    def _run_slice_inline(self, worker: _Worker,
+                          job: _Job) -> Optional[JobResult]:
         with self._lock:
             self._slices += 1
         job.slices += 1
@@ -494,11 +666,17 @@ class VerificationService:
                 if job.run is None:
                     factory = (job.request.verifier_factory
                                or self.verifier_factory)
+                    job.attempts += 1
+                    budget = job.request.budget
+                    if budget is not None and job.attempts > 1:
+                        # A retry must not inherit the failed attempt's
+                        # charges: fresh limits, fresh clock.
+                        budget = budget.copy()
                     try:
                         verifier = factory(bundle)
                         job.run = verifier.start_run(job.request.network,
                                                      job.request.spec,
-                                                     job.request.budget)
+                                                     budget)
                     except Exception as exc:  # noqa: BLE001 - isolation boundary
                         error = JobError(type(exc).__name__, str(exc), "setup")
                 if error is None:
@@ -525,6 +703,197 @@ class VerificationService:
             return self._complete(worker, job, result, deadline_exceeded)
         return None
 
+    # -- process drive ---------------------------------------------------------
+    def _run_slice_remote(self, worker: _Worker,
+                          job: _Job) -> Optional[JobResult]:
+        """One scheduling slice executed in the shard's worker process."""
+        executor = self._ensure_executor(worker)
+        if executor is None:  # the shard just degraded
+            return self._run_slice_inline(worker, job)
+        if self._deadline_passed(job) and not job.remote_started:
+            # Mirror the inline pre-start expiry: no run exists anywhere,
+            # so the TIMEOUT is synthesised parent-side within one slice.
+            with self._lock:
+                self._slices += 1
+            job.slices += 1
+            return self._complete(worker, job, self._expire(job), True)
+        try:
+            if not job.remote_started:
+                job.attempts += 1
+                try:
+                    reply = executor.start_job(job.job_id, job.fingerprint,
+                                               job.request,
+                                               self._remote_factory(job),
+                                               self.pool)
+                except UnpicklableJob:
+                    # Not a failure: this job's payload cannot cross the
+                    # pipe, so it runs in-process while picklable jobs on
+                    # the shard keep their isolation.
+                    job.attempts -= 1
+                    job.inline_only = True
+                    with self._lock:
+                        self._jobs_inline += 1
+                    return self._run_slice_inline(worker, job)
+                self._merge_delta(job, reply)
+                if reply.get("op") == "error":
+                    with self._lock:
+                        self._slices += 1
+                    job.slices += 1
+                    return self._fail(worker, job, reply_error(reply))
+                job.remote_started = True
+            with self._lock:
+                self._slices += 1
+            job.slices += 1
+            reply = executor.run_slice(job.job_id,
+                                       self.config.rounds_per_slice,
+                                       job.deadline_at)
+        except WorkerCrashed as exc:
+            return self._handle_crash(worker, job, exc)
+        self._merge_delta(job, reply)
+        op = reply.get("op")
+        if op == "error":
+            job.remote_started = False  # the worker dropped the run
+            return self._fail(worker, job, reply_error(reply))
+        if op == "done":
+            job.remote_started = False
+            return self._complete(worker, job, reply["result"],
+                                  bool(reply.get("deadline_exceeded")))
+        return None
+
+    def _remote_factory(self, job: _Job) -> Optional[Callable]:
+        """The factory to ship to the worker (``None`` = worker default)."""
+        if job.request.verifier_factory is not None:
+            return job.request.verifier_factory
+        if self.verifier_factory is not _default_verifier_factory:
+            return self.verifier_factory
+        return None
+
+    @staticmethod
+    def _merge_delta(job: _Job, reply: dict) -> None:
+        """Fold a worker reply's cache delta into the job's counters."""
+        for key, value in reply.get("cache_delta", {}).items():
+            job.cache_stats[key] = job.cache_stats.get(key, 0) + value
+
+    def _ensure_executor(self, worker: _Worker) -> Optional[ShardExecutor]:
+        """The shard's live executor — spawning, restarting or degrading.
+
+        Returns ``None`` exactly when the shard (just) degraded to
+        in-process execution.  A worker found dead *between* slices (no
+        request observed the death) still counts against the shard's crash
+        budget, but implicates no job: the remote runs are simply lost and
+        restart from scratch on the fresh worker.
+        """
+        executor = worker.executor
+        if executor is None:
+            try:
+                worker.executor = ShardExecutor(
+                    worker.index, self.config.lp_cache_size,
+                    self.config.bound_cache_size,
+                    start_method=self.config.process_start_method,
+                    slice_timeout=self.config.slice_timeout_seconds)
+            except ProcessTransportUnavailable as exc:
+                self._degrade(worker, f"process spawn unavailable: {exc}")
+                return None
+            return worker.executor
+        if executor.alive():
+            return executor
+        worker.crashes += 1
+        with self._lock:
+            self._worker_crashes += 1
+        self._reset_remote_jobs(worker)
+        if worker.crashes > self.config.worker_crash_budget:
+            self._degrade(worker, "worker crash budget exceeded")
+            return None
+        return self._restart_executor(worker)
+
+    def _restart_executor(self, worker: _Worker) -> Optional[ShardExecutor]:
+        """Restart the shard's worker process (degrading when it fails)."""
+        try:
+            worker.executor.restart()
+        except ProcessTransportUnavailable as exc:
+            self._degrade(worker, f"worker restart failed: {exc}")
+            return None
+        with self._lock:
+            self._worker_restarts += 1
+        return worker.executor
+
+    def _reset_remote_jobs(self, worker: _Worker) -> None:
+        """Forget remote runs after a worker death (restart from scratch).
+
+        Restarting from the beginning — never resuming partial state —
+        is what keeps a retried job's trajectory identical to an
+        uninterrupted run.
+        """
+        with worker.lock:
+            jobs = list(worker.jobs)
+        for job in jobs:
+            job.remote_started = False
+
+    def _handle_crash(self, worker: _Worker, job: _Job,
+                      exc: WorkerCrashed) -> Optional[JobResult]:
+        """A worker died under ``job``: retry, poison-fail, restart/degrade."""
+        worker.crashes += 1
+        job.crashes += 1
+        with self._lock:
+            self._worker_crashes += 1
+        self._reset_remote_jobs(worker)
+        retry = self.config.retry
+        outcome: Optional[JobResult] = None
+        if job.crashes >= retry.max_attempts \
+                or not retry.retryable("WorkerCrash"):
+            # Poison job: it keeps killing its worker, so it fails — the
+            # service, the shard and every other job keep going.
+            error = JobError(
+                "WorkerCrash",
+                f"worker process died executing this job "
+                f"{job.crashes} time(s) (last: {exc})", "round")
+            outcome = self._fail(worker, job, error, allow_retry=False)
+        else:
+            with self._lock:
+                self._retries += 1
+            job.not_before = (time.monotonic()
+                              + retry.delay_seconds(job.job_id, job.crashes))
+        if worker.degraded is None:
+            if worker.crashes > self.config.worker_crash_budget:
+                self._degrade(worker, "worker crash budget exceeded")
+            else:
+                self._restart_executor(worker)
+        return outcome
+
+    def _degrade(self, worker: _Worker, reason: str) -> None:
+        """Fall back to in-process execution for this shard, permanently.
+
+        The degradation ladder's middle rung: the shard thread keeps
+        draining its queue under the same policy, just without the process
+        boundary.  Jobs implicated in worker crashes are failed instead of
+        run inline — a job that kills its worker would kill the host — and
+        the downgrade is recorded in :meth:`VerificationService.stats`.
+        """
+        worker.degraded = reason
+        with self._lock:
+            self._downgrades.append({"worker": worker.index,
+                                     "reason": reason})
+        executor = worker.executor
+        worker.executor = None
+        if executor is not None:
+            executor.stop(self.pool)
+        with worker.lock:
+            implicated = [job for job in worker.jobs if job.crashes > 0]
+        for job in implicated:
+            self._fail(worker, job, JobError(
+                "WorkerCrash",
+                f"shard degraded to in-process execution ({reason}); job "
+                f"implicated in {job.crashes} worker crash(es)", "round"),
+                allow_retry=False)
+
+    def _release_executor(self, worker: _Worker) -> None:
+        """Stop the shard's worker process, reclaiming its warm bundles."""
+        executor = worker.executor
+        worker.executor = None
+        if executor is not None:
+            executor.stop(self.pool)
+
+    # -- completion ------------------------------------------------------------
     def _expire(self, job: _Job) -> VerificationResult:
         """Force a deadline TIMEOUT (interrupt, or synthesise pre-start)."""
         result = job.run.interrupt() if job.run is not None else None
@@ -542,7 +911,7 @@ class VerificationService:
         with worker.lock:
             worker.jobs.remove(job)
             job.done = done
-            if self.threaded:
+            if self.self_driving:
                 self._results.put(done)
         for listener in list(self._listeners):
             listener(done)
@@ -556,6 +925,7 @@ class VerificationService:
             slices=job.slices, wait_slices=job.total_wait,
             latency_seconds=time.monotonic() - job.submitted_at,
             deadline_exceeded=deadline_exceeded,
+            attempts=max(job.attempts, 1), worker_crashes=job.crashes,
             cache_stats=dict(job.cache_stats))
         result.extras["service"] = {
             "job_id": done.job_id,
@@ -563,18 +933,36 @@ class VerificationService:
             "slices": done.slices,
             "wait_slices": done.wait_slices,
             "deadline_exceeded": done.deadline_exceeded,
+            "attempts": done.attempts,
+            "worker_crashes": done.worker_crashes,
             "cache_stats": done.cache_stats,
         }
         return self._finish_job(worker, job, done)
 
-    def _fail(self, worker: _Worker, job: _Job, error: JobError) -> JobResult:
-        with self._lock:
-            self._failed += 1
+    def _fail(self, worker: _Worker, job: _Job, error: JobError,
+              allow_retry: bool = True) -> Optional[JobResult]:
+        retry = self.config.retry
         if self.config.quarantine_on_error:
             self.pool.discard(job.fingerprint)
+            if worker.executor is not None:
+                worker.executor.discard(job.fingerprint)
+        if (allow_retry and retry.retryable(error.kind)
+                and job.attempts < retry.max_attempts):
+            # Re-enqueue instead of finalising: the job stays in the
+            # worker's queue and becomes runnable after its backoff.
+            job.run = None
+            job.remote_started = False
+            with self._lock:
+                self._retries += 1
+            job.not_before = (time.monotonic()
+                              + retry.delay_seconds(job.job_id, job.attempts))
+            return None
+        with self._lock:
+            self._failed += 1
         done = JobResult(
             job_id=job.job_id, fingerprint=job.fingerprint, error=error,
             slices=job.slices, wait_slices=job.total_wait,
             latency_seconds=time.monotonic() - job.submitted_at,
+            attempts=max(job.attempts, 1), worker_crashes=job.crashes,
             cache_stats=dict(job.cache_stats))
         return self._finish_job(worker, job, done)

@@ -1,0 +1,247 @@
+"""Process supervision for the service's ``"process"`` transport.
+
+A :class:`WorkerSupervisor` owns exactly one worker *process*: it spawns
+the process with a duplex pipe, performs request/response round-trips, and
+— the part that makes the transport crash-resilient — watches liveness the
+whole time a reply is pending.  A worker that segfaults, is OOM-killed or
+SIGKILLed mid-round never leaves the parent blocked: the receive loop polls
+the pipe in short intervals and checks the process between polls, so a dead
+worker surfaces as a :class:`WorkerCrashed` within one poll interval.  The
+scheduler translates that exception into its retry/poison/degradation
+policy (see ``docs/SERVICE.md#fault-model--supervision``); the supervisor
+itself is policy-free — it only detects, restarts and stops.
+
+Start-method resolution prefers ``fork`` (cheap on Linux — the parent's
+loaded numpy/model state is shared copy-on-write) and falls back to
+``spawn``; hosts where neither is available raise
+:class:`ProcessTransportUnavailable`, which the scheduler catches to
+degrade gracefully onto the threaded transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.utils.validation import require
+
+#: Start methods tried, in order, when the user does not pin one.
+PREFERRED_START_METHODS = ("fork", "spawn")
+
+#: Seconds between pipe polls while a reply is pending — the heartbeat
+#: granularity of crash detection.
+DEFAULT_POLL_INTERVAL = 0.02
+
+#: Seconds a worker is given to exit voluntarily on ``stop()`` before it is
+#: killed.
+STOP_GRACE_SECONDS = 2.0
+
+
+class ProcessTransportUnavailable(RuntimeError):
+    """Worker processes cannot be provided on this host/configuration.
+
+    Raised when no multiprocessing start method works (or spawning itself
+    fails).  The scheduler treats it as a degradation trigger — the shard
+    falls back to in-process execution — never as a job failure.
+    """
+
+
+class WorkerCrashed(RuntimeError):
+    """The supervised worker process died (or hung past its timeout).
+
+    Carries the worker's ``exitcode`` when the process terminated (negative
+    values are signal numbers: ``-9`` for SIGKILL) and ``None`` when the
+    worker was killed by the supervisor for exceeding a reply timeout.
+    """
+
+    def __init__(self, message: str, exitcode: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+def resolve_start_method(preferred: Optional[str] = None):
+    """The multiprocessing context to use, or raise if none is available.
+
+    ``preferred`` pins a method (``"fork"`` / ``"spawn"`` / ``"forkserver"``);
+    ``None`` tries :data:`PREFERRED_START_METHODS` in order.  Raises
+    :class:`ProcessTransportUnavailable` when no candidate is supported,
+    so callers can degrade instead of crash.
+    """
+    candidates = ((preferred,) if preferred is not None
+                  else PREFERRED_START_METHODS)
+    available = multiprocessing.get_all_start_methods()
+    for method in candidates:
+        if method in available:
+            try:
+                return multiprocessing.get_context(method)
+            except ValueError:  # pragma: no cover - platform-dependent
+                continue
+    raise ProcessTransportUnavailable(
+        f"no usable multiprocessing start method among {candidates} "
+        f"(host supports {available})")
+
+
+class WorkerSupervisor:
+    """Spawn, watch, restart and stop one worker process.
+
+    ``target`` is the worker main — a module-level function (spawn-safe)
+    called as ``target(child_connection, *args)``.  The supervisor is used
+    from a single scheduler shard thread, so it carries no locking of its
+    own; crash *detection* is synchronous with the request that observed
+    it, which is exactly the attribution the retry policy needs.
+    """
+
+    def __init__(self, target: Callable, args: Tuple = (),
+                 start_method: Optional[str] = None,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 name: str = "verification-shard") -> None:
+        require(poll_interval > 0.0, "poll_interval must be positive")
+        self._target = target
+        self._args = tuple(args)
+        self._start_method = start_method
+        self._poll_interval = float(poll_interval)
+        self._name = name
+        self._context = None
+        self._process = None
+        self._conn = None
+        #: Successful (re)starts performed — restarts = starts - 1.
+        self.starts = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker process (idempotent while one is alive).
+
+        Raises :class:`ProcessTransportUnavailable` when the host cannot
+        provide worker processes at all, letting the caller degrade.
+        """
+        if self.alive():
+            return
+        if self._context is None:
+            self._context = resolve_start_method(self._start_method)
+        self._drop_process()
+        try:
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=self._target, args=(child_conn,) + self._args,
+                name=f"{self._name}-gen{self.starts}", daemon=True)
+            process.start()
+        except Exception as exc:  # noqa: BLE001 - spawn failure of any shape
+            raise ProcessTransportUnavailable(
+                f"could not spawn worker process: {exc}") from exc
+        child_conn.close()  # the child holds its own copy
+        self._process = process
+        self._conn = parent_conn
+        self.starts += 1
+
+    def restart(self) -> None:
+        """Kill whatever is left of the worker and spawn a fresh one."""
+        self._kill()
+        self.start()
+
+    def stop(self, timeout: float = STOP_GRACE_SECONDS) -> None:
+        """Ask the worker to exit (``stop`` op), then kill it if it lingers."""
+        process = self._process
+        if process is None:
+            return
+        if process.is_alive() and self._conn is not None:
+            try:
+                self._conn.send({"op": "stop"})
+            except (OSError, ValueError):
+                pass  # already broken; the kill below cleans up
+        process.join(timeout)
+        self._kill()
+
+    def alive(self) -> bool:
+        """Whether a worker process is currently running."""
+        return self._process is not None and self._process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        """The last worker's exit code (``None`` while running/never started)."""
+        return None if self._process is None else self._process.exitcode
+
+    # -- requests --------------------------------------------------------------
+    def request(self, message: dict, timeout: Optional[float] = None) -> dict:
+        """One round-trip: send ``message``, await the reply, watch liveness.
+
+        While the reply is pending the pipe is polled every
+        ``poll_interval`` seconds and the process checked in between — a
+        worker that died mid-request raises :class:`WorkerCrashed` almost
+        immediately instead of blocking forever.  With ``timeout`` set, a
+        worker that is still silent after that many seconds is *killed* and
+        reported as crashed (the hung-worker containment path).  Pickling
+        errors from unpicklable payloads propagate to the caller before any
+        bytes hit the pipe.
+        """
+        if not self.alive() or self._conn is None:
+            raise WorkerCrashed("worker process is not running",
+                                exitcode=self.exitcode)
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker pipe broken on send: {exc}",
+                                exitcode=self._harvest_exitcode()) from exc
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if self._conn.poll(self._poll_interval):
+                    return self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise WorkerCrashed(
+                    f"worker pipe closed mid-request: {exc}",
+                    exitcode=self._harvest_exitcode()) from exc
+            if not self._process.is_alive():
+                # One final drain: the reply may have been written just
+                # before death.
+                try:
+                    if self._conn.poll(0):
+                        return self._conn.recv()
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+                raise WorkerCrashed(
+                    f"worker process died mid-request "
+                    f"(exitcode {self._process.exitcode})",
+                    exitcode=self._process.exitcode)
+            if deadline is not None and time.monotonic() >= deadline:
+                self._kill()
+                raise WorkerCrashed(
+                    f"worker unresponsive for {timeout:.3g}s; killed")
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        """Liveness probe: a ``ping`` round-trip (False on any failure)."""
+        try:
+            return self.request({"op": "ping"}, timeout=timeout)\
+                .get("op") == "pong"
+        except WorkerCrashed:
+            return False
+
+    # -- internals -------------------------------------------------------------
+    def _harvest_exitcode(self) -> Optional[int]:
+        """The dying worker's exit code, waiting briefly for the reap.
+
+        A broken pipe can surface before the kernel finishes tearing the
+        process down, when ``exitcode`` still reads ``None``; a short join
+        recovers the real code (negative = killing signal) for diagnostics.
+        """
+        process = self._process
+        if process is None:
+            return None
+        process.join(STOP_GRACE_SECONDS)
+        return process.exitcode
+
+    def _kill(self) -> None:
+        process = self._process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(STOP_GRACE_SECONDS)
+        self._drop_process()
+
+    def _drop_process(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+        self._conn = None
+        self._process = None

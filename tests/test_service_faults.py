@@ -6,11 +6,24 @@ poisoned shared-cache entry must fail *only the job that hit it* — with a
 structured :class:`~repro.service.jobs.JobError` naming the stage — while
 every other job in the pool finishes solo-identical and the fingerprint's
 cache bundle is quarantined so the poison cannot outlive the job it broke.
-The isolation tests run on both execution transports: a failing job must
-not take down a cooperative scheduling loop *or* a real worker thread.
+The isolation tests run on every execution transport: a failing job must
+not take down a cooperative scheduling loop, a real worker thread, *or*
+the service hosting a worker process.
+
+The kill-based tests go further than exceptions: they SIGKILL the worker
+*process* mid-round (no cleanup, no goodbye — the closest cheap stand-in
+for a segfault or an OOM kill) and require the supervision layer to detect
+the death, restart the worker, retry the interrupted job to a
+solo-identical verdict, and fail a deterministically crashing (poison) job
+with ``JobError(kind="WorkerCrash")`` after ``max_attempts`` without
+taking the service down.
 """
 
 from __future__ import annotations
+
+import functools
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -18,7 +31,7 @@ import pytest
 from repro.bounds.splits import SplitAssignment
 from repro.core.abonn import AbonnVerifier
 from repro.nn import dense_network
-from repro.service import ServiceConfig, VerificationService
+from repro.service import RetryPolicy, ServiceConfig, VerificationService
 from repro.utils import Budget
 from repro.verifiers.result import VerificationStatus, VerifierRun
 
@@ -83,8 +96,199 @@ class _ExplodingVerifier:
         return _ExplodingRun(self.rounds_before_failure)
 
 
+class _CrashOnceRun(VerifierRun):
+    """Delegates to a real run, but SIGKILLs its own process once.
+
+    The marker file makes the crash once-per-path: the first ``step()``
+    creates it and kills the process (uncatchable, mid-round); after the
+    worker restarts, the retried job's fresh run sees the marker and
+    delegates untouched — so the retry's trajectory is exactly a solo run.
+    """
+
+    def __init__(self, inner, marker: str) -> None:
+        self.inner = inner
+        self.marker = marker
+
+    def step(self):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.step()
+
+    def interrupt(self):
+        return self.inner.interrupt()
+
+
+class _CrashOnceVerifier:
+    def __init__(self, bundle, marker: str) -> None:
+        self.inner = AbonnVerifier(lp_cache=bundle.lp_cache,
+                                   bound_cache=bundle.bound_cache)
+        self.marker = marker
+
+    def start_run(self, network, spec, budget=None):
+        return _CrashOnceRun(self.inner.start_run(network, spec, budget),
+                             self.marker)
+
+
+def _crash_once_factory(bundle, marker: str):
+    """Module-level (hence picklable) factory for the crash-once verifier."""
+    return _CrashOnceVerifier(bundle, marker)
+
+
+class _SigkillRun(VerifierRun):
+    """A poison run: SIGKILLs its process on every step, every attempt."""
+
+    def step(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def interrupt(self):
+        return None
+
+
+class _SigkillVerifier:
+    def __init__(self, bundle) -> None:
+        pass
+
+    def start_run(self, network, spec, budget=None):
+        return _SigkillRun()
+
+
+def _sigkill_factory(bundle):
+    """Module-level (hence picklable) factory for the poison verifier."""
+    return _SigkillVerifier(bundle)
+
+
+class TestWorkerCrash:
+    """Real SIGKILLs against the process transport's supervision layer."""
+
+    def _config(self, **kwargs):
+        kwargs.setdefault("transport", "process")
+        kwargs.setdefault("retry", RetryPolicy(backoff_seconds=0.01))
+        return ServiceConfig(**kwargs)
+
+    def test_sigkill_mid_round_retries_and_other_jobs_match_solo(
+            self, tmp_path):
+        """A worker SIGKILLed mid-round: the job retries to the solo
+        verdict and every unrelated job — same shard or other shards —
+        completes identical to a cooperative (solo) run."""
+        marker = str(tmp_path / "crashed-once")
+        service = VerificationService(self._config(pool_size=2))
+        with service:
+            crashing = service.submit(
+                *PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES),
+                verifier_factory=functools.partial(_crash_once_factory,
+                                                   marker=marker))
+            good_same_shard = service.submit(
+                *PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES))
+            good_other = service.submit(
+                *PROBLEM_B, budget=Budget(max_nodes=BUDGET_NODES))
+            results = {done.job_id: done for done in service.as_completed()}
+        assert set(results) == {crashing, good_same_shard, good_other}
+
+        crashed = results[crashing]
+        assert crashed.ok, f"retry did not recover: {crashed.error}"
+        assert crashed.worker_crashes == 1
+        assert crashed.attempts == 2  # the crash cost exactly one retry
+        _assert_identical(crashed.result, SOLO_A)
+
+        assert results[good_same_shard].ok
+        _assert_identical(results[good_same_shard].result, SOLO_A)
+        assert results[good_other].ok
+        _assert_identical(results[good_other].result, SOLO_B)
+
+        stats = service.stats()
+        assert stats["worker_crashes"] == 1
+        assert stats["worker_restarts"] >= 1
+        assert stats["retries"] == 1
+        assert stats["jobs_failed"] == 0
+        assert stats["transport_downgrades"] == []
+
+    def test_poison_job_fails_with_worker_crash_after_max_attempts(self):
+        """A job that kills its worker every time is poison: after
+        ``max_attempts`` crashes it fails with ``kind="WorkerCrash"`` —
+        and the service, its shard and the other jobs all survive."""
+        retry = RetryPolicy(max_attempts=2, backoff_seconds=0.01)
+        service = VerificationService(self._config(pool_size=1, retry=retry))
+        with service:
+            bad = service.submit(*PROBLEM_A,
+                                 budget=Budget(max_nodes=BUDGET_NODES),
+                                 verifier_factory=_sigkill_factory)
+            good = service.submit(*PROBLEM_B,
+                                  budget=Budget(max_nodes=BUDGET_NODES))
+            results = {done.job_id: done for done in service.as_completed()}
+
+            failed = results[bad]
+            assert not failed.ok
+            assert failed.error.kind == "WorkerCrash"
+            assert failed.error.stage == "round"
+            assert failed.worker_crashes == retry.max_attempts
+            assert failed.attempts == retry.max_attempts
+
+            assert results[good].ok
+            _assert_identical(results[good].result, SOLO_B)
+
+            # The service is still alive and serving after the poison job.
+            again = service.submit(*PROBLEM_A,
+                                   budget=Budget(max_nodes=BUDGET_NODES))
+            done = next(done for done in service.as_completed()
+                        if done.job_id == again)
+            assert done.ok
+            _assert_identical(done.result, SOLO_A)
+        stats = service.stats()
+        assert stats["worker_crashes"] == retry.max_attempts
+        assert stats["jobs_failed"] == 1
+
+    def test_quarantined_bundle_never_leaks_poison_across_restart(
+            self, tmp_path):
+        """Quarantine survives worker restarts: a poisoned bundle is
+        discarded on the parent *and* the worker side, so neither the
+        restarted worker nor the parent pool ever serves the poisoned
+        entries again."""
+        service = VerificationService(self._config(pool_size=1))
+        with service:
+            network, spec = PROBLEM_A
+            fingerprint = service.pool.fingerprint_for(network, spec)
+            bundle = service.pool.bundle(fingerprint)
+            root_key = SplitAssignment.empty().canonical_key()
+            bundle.bound_cache.put_report(root_key, True, "poison")
+            bundle.bound_cache.put_report(root_key, False, "poison")
+
+            # The poisoned bundle is handed to the worker and breaks the
+            # job's setup there; quarantine discards both copies.
+            bad = service.submit(*PROBLEM_A,
+                                 budget=Budget(max_nodes=BUDGET_NODES))
+            done = next(done for done in service.as_completed()
+                        if done.job_id == bad)
+            assert not done.ok
+            assert done.error.stage == "setup"
+            assert service.pool.bundle(fingerprint) is not bundle
+
+            # Kill the worker (crash-once job) to force a full restart...
+            marker = str(tmp_path / "restart-marker")
+            crasher = service.submit(
+                *PROBLEM_A, budget=Budget(max_nodes=BUDGET_NODES),
+                verifier_factory=functools.partial(_crash_once_factory,
+                                                   marker=marker))
+            done = next(done for done in service.as_completed()
+                        if done.job_id == crasher)
+            assert done.ok and done.worker_crashes == 1
+
+            # ... and the post-restart worker serves the fingerprint from
+            # the fresh bundle: no poisoned entry anywhere.
+            clean = service.submit(*PROBLEM_A,
+                                   budget=Budget(max_nodes=BUDGET_NODES))
+            done = next(done for done in service.as_completed()
+                        if done.job_id == clean)
+            assert done.ok
+            _assert_identical(done.result, SOLO_A)
+            fresh = service.pool.bundle(fingerprint)
+            assert fresh.bound_cache.get_report(root_key, True) is not True
+
+
 class TestRoundFailure:
-    @pytest.mark.parametrize("transport", ["cooperative", "threaded"])
+    @pytest.mark.parametrize("transport",
+                             ["cooperative", "threaded", "process"])
     def test_mid_round_exception_fails_only_that_job(self, transport):
         service = VerificationService(ServiceConfig(pool_size=2,
                                                     rounds_per_slice=1,
@@ -121,7 +325,8 @@ class TestRoundFailure:
 
 
 class TestSetupFailure:
-    @pytest.mark.parametrize("transport", ["cooperative", "threaded"])
+    @pytest.mark.parametrize("transport",
+                             ["cooperative", "threaded", "process"])
     def test_broken_factory_fails_at_setup(self, transport):
         def broken_factory(bundle):
             raise ValueError("no verifier for you")
@@ -184,7 +389,8 @@ class TestPoisonedCache:
         bundle.bound_cache.put_report(root_key, False, "poison")
         return fingerprint, bundle
 
-    @pytest.mark.parametrize("transport", ["cooperative", "threaded"])
+    @pytest.mark.parametrize("transport",
+                             ["cooperative", "threaded", "process"])
     def test_poisoned_entry_fails_job_and_quarantines_bundle(self, transport):
         service = VerificationService(ServiceConfig(pool_size=2,
                                                     transport=transport))

@@ -191,3 +191,20 @@ class TestFileValidation:
         service = VerificationService()
         assert service.load_caches(tmp_path) == 0
         assert len(service.pool) == 0
+
+    def test_stale_tmp_files_are_ignored_and_cleaned(self, tmp_path):
+        """Debris from a save that crashed mid-write never breaks a load.
+
+        ``CacheBundle.save`` writes to ``<name>.tmp`` and atomically
+        renames; a crash between the two leaves a stale (possibly
+        truncated) tmp file behind.  ``load_bundles`` must skip it as a
+        bundle, delete it, and still load the good bundles next to it.
+        """
+        path, fingerprint = self._saved_bundle(tmp_path)
+        truncated = tmp_path / f"{'d' * 64}{BUNDLE_SUFFIX}.tmp"
+        truncated.write_bytes(path.read_bytes()[:17])  # mid-pickle crash
+        fresh = VerificationService(ServiceConfig(pool_size=1))
+        assert fresh.load_caches(tmp_path) == 1  # tmp not counted
+        assert fresh.pool.bundle(fingerprint).bound_cache.export_entries()
+        assert not truncated.exists()  # debris cleaned up
+        assert path.exists()  # the real bundle untouched

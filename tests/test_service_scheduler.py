@@ -2,9 +2,10 @@
 
 The service's core promise: multiplexing many jobs never changes any job's
 answer — and that promise must survive every execution backend.  The suite
-therefore runs its properties against all three transports (the cooperative
-single-threaded scheduler, the threaded worker pool, and the asyncio
-front-end over it): property-based tests submit random job mixes (problems,
+therefore runs its properties against all four transports (the cooperative
+single-threaded scheduler, the threaded worker pool, the supervised
+worker-process pool, and the asyncio front-end): property-based tests
+submit random job mixes (problems,
 priorities, pool sizes, slice lengths) and require every job's verdict,
 node charges, tree size, bound and counterexample to be byte-identical to a
 solo run of a fresh verifier on a fresh driver.  On top of that the
@@ -39,7 +40,7 @@ from conftest import make_robustness_problem
 BUDGET_NODES = 60
 
 #: Every execution backend the conformance properties must hold for.
-TRANSPORTS = ("cooperative", "threaded", "async")
+TRANSPORTS = ("cooperative", "threaded", "process", "async")
 
 
 def _problems():
@@ -90,8 +91,8 @@ def transport(request):
 
 def _service_config(transport: str, **kwargs) -> ServiceConfig:
     """A ServiceConfig for ``transport`` (async rides on threaded)."""
-    if transport == "threaded":
-        kwargs["transport"] = "threaded"
+    if transport in ("threaded", "process"):
+        kwargs["transport"] = transport
     return ServiceConfig(**kwargs)
 
 
@@ -290,18 +291,53 @@ class TestDeadlines:
             assert done.result.status == VerificationStatus.TIMEOUT
 
     def test_invalid_deadline_rejected(self, transport):
+        """A non-positive deadline is a structured submit-time rejection.
+
+        The job is accepted and immediately finalised with
+        ``JobError(kind="InvalidRequest", stage="submit")`` and zero
+        attempts — no exception, and other jobs in the batch still run.
+        """
         network, spec = PROBLEMS[0]
         if transport == "async":
             async def bad_submit():
                 async with AsyncVerificationService() as svc:
-                    await svc.submit(network, spec, deadline_seconds=0.0)
-            with pytest.raises(ValueError):
-                asyncio.run(bad_submit())
+                    job_id = await svc.submit(network, spec,
+                                              deadline_seconds=0.0)
+                    return await svc.result(job_id)
+            done = asyncio.run(bad_submit())
         else:
             service = VerificationService(_service_config(transport))
             with service:
-                with pytest.raises(ValueError):
-                    service.submit(network, spec, deadline_seconds=0.0)
+                job_id = service.submit(network, spec, deadline_seconds=0.0)
+                done = service.result(job_id)
+        assert not done.ok
+        assert done.error.kind == "InvalidRequest"
+        assert done.error.stage == "submit"
+        assert done.attempts == 0
+        assert "deadline_seconds" in done.error.message
+
+    def test_invalid_budget_rejected_and_batch_survives(self, transport):
+        """Non-positive budget limits reject at submit; good jobs run on.
+
+        The rejection flows through the normal completion stream, so a
+        mixed batch yields every result — the bad job's structured error
+        alongside the good jobs' verdicts.
+        """
+        submissions = [_submission(0),
+                       _submission(0, budget=Budget(max_nodes=0)),
+                       _submission(0, budget=Budget(max_seconds=-1.0))]
+        job_ids, results = _run_jobs(transport, submissions, pool_size=1)
+        assert set(results) == set(job_ids)
+        good, bad_nodes, bad_seconds = (results[job_id] for job_id in job_ids)
+        assert good.ok
+        _assert_identical(good.result, SOLO_RESULTS[0])
+        for done, field in ((bad_nodes, "max_nodes"),
+                            (bad_seconds, "max_seconds")):
+            assert not done.ok
+            assert done.error.kind == "InvalidRequest"
+            assert done.error.stage == "submit"
+            assert done.attempts == 0
+            assert field in done.error.message
 
 
 class TestSchedulerPlumbing:
