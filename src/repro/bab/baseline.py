@@ -26,7 +26,7 @@ call.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,8 @@ from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heur
 from repro.bounds.alpha_crown import AlphaCrownConfig
 from repro.bounds.cache import LpCache
 from repro.bounds.splits import ReluSplit, SplitAssignment
-from repro.engine.driver import DriverVerdict, FrontierDriver, LinearWorkSource
+from repro.engine.driver import DriverVerdict, FrontierDriver, \
+    LinearWorkSource, Neuron
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
@@ -107,7 +108,7 @@ class QueueFrontierSource(LinearWorkSource):
         else:
             self.queue.append(node)
 
-    def select_neuron(self, node: BaBNode):
+    def select_neuron(self, node: BaBNode) -> Optional[Neuron]:
         """Pick the node's branching neuron and record split statistics."""
         context = BranchingContext(network=self.appver.lowered,
                                    spec=self.spec.output_spec,
@@ -119,7 +120,8 @@ class QueueFrontierSource(LinearWorkSource):
             self.statistics.nodes_split += 1
         return neuron
 
-    def child_splits(self, node: BaBNode, neuron, phases) -> List[SplitAssignment]:
+    def child_splits(self, node: BaBNode, neuron: Neuron,
+                     phases: Sequence[int]) -> List[SplitAssignment]:
         """The children's split assignments for the chosen neuron."""
         return [node.child_splits(ReluSplit(neuron[0], neuron[1], phase))
                 for phase in phases]

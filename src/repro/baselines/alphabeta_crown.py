@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,8 @@ from repro.bab.heuristics import BranchingContext, BranchingHeuristic, make_heur
 from repro.bounds.alpha_crown import AlphaCrownConfig
 from repro.bounds.cache import LpCache
 from repro.bounds.splits import ReluSplit, SplitAssignment
-from repro.engine.driver import DriverVerdict, FrontierDriver, LinearWorkSource
+from repro.engine.driver import DriverVerdict, FrontierDriver, \
+    LinearWorkSource, Neuron
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
@@ -107,7 +108,7 @@ class HeapFrontierSource(LinearWorkSource):
         """Undo a pop: the entry's bound key makes it the next pop again."""
         heapq.heappush(self.heap, entry)
 
-    def select_neuron(self, entry: HeapEntry):
+    def select_neuron(self, entry: HeapEntry) -> Optional[Neuron]:
         """Pick the entry's branching neuron (no look-ahead probing)."""
         _, _, splits, outcome = entry
         context = BranchingContext(network=self.appver.lowered,
@@ -115,7 +116,8 @@ class HeapFrontierSource(LinearWorkSource):
                                    report=outcome.report, splits=splits)
         return self.heuristic.select(context)
 
-    def child_splits(self, entry: HeapEntry, neuron, phases) -> List[SplitAssignment]:
+    def child_splits(self, entry: HeapEntry, neuron: Neuron,
+                     phases: Sequence[int]) -> List[SplitAssignment]:
         """The children's split assignments for the chosen neuron."""
         splits = entry[2]
         return [splits.with_split(ReluSplit(neuron[0], neuron[1], phase))

@@ -55,11 +55,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, Optional, Tuple
 
 import numpy as np
 
 from repro.utils.validation import require
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.specs
+    from repro.bounds.linear_form import AffineForms
 
 #: Default capacity shared by every cache owner (AppVer, AbonnConfig).
 DEFAULT_CACHE_SIZE = 4096
@@ -91,7 +94,7 @@ class SubstitutionEntry:
     upper_slope: np.ndarray
     upper_intercept: np.ndarray
     infeasible: bool
-    forms: Optional[object] = None
+    forms: Optional[AffineForms] = None
 
 
 #: Backwards-compatible name for :class:`SubstitutionEntry` (pre-incremental
@@ -176,9 +179,9 @@ class BoundCache:
         while len(self._store) > self.max_entries:
             evicted_key, _ = self._store.popitem(last=False)
             if evicted_key[0] == "layer":
-                self.stats.layer_evictions += 1
+                self.stats.layer_evictions += 1  # lint: disable=lock-discipline - caller holds _lock (see section comment)
             else:
-                self.stats.report_evictions += 1
+                self.stats.report_evictions += 1  # lint: disable=lock-discipline - caller holds _lock (see section comment)
 
     # -- substitution (per-layer) entries -------------------------------------
     def get_layer(self, layer: int, prefix_key: Tuple) -> Optional[SubstitutionEntry]:
@@ -218,6 +221,30 @@ class BoundCache:
     def put_report(self, canonical_key: Tuple, with_spec: bool, report) -> None:
         with self._lock:
             self._put(("report", canonical_key, with_spec), report)
+
+    # -- stats ----------------------------------------------------------------
+    def record_delta_corrections(self, count: int = 1) -> None:
+        """Count ``count`` rank-1 split corrections served by this cache.
+
+        The incremental bound path derives child entries from a parent's
+        entry; it counts that reuse through this method instead of mutating
+        :attr:`stats` directly, which would tear the counter on a
+        fingerprint-shared cache under concurrent workers (the same
+        discipline as :meth:`LpCache.record_hit`).
+        """
+        with self._lock:
+            self.stats.delta_corrections += count
+
+    def stats_snapshot(self) -> dict:
+        """Atomic :meth:`CacheStats.as_dict` snapshot (taken under the lock).
+
+        Reading ``cache.stats.as_dict()`` from another thread can tear
+        across the individual counters while a worker is mid-update;
+        bundle- and service-level reporting reads through this method so a
+        snapshot is internally consistent.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     # -- persistence ----------------------------------------------------------
     def export_entries(self) -> list:
@@ -346,6 +373,16 @@ class LpCache:
         """
         with self._lock:
             self.stats.hits += count
+
+    def stats_snapshot(self) -> dict:
+        """Atomic :meth:`LpCacheStats.as_dict` snapshot (under the lock).
+
+        The counterpart of :meth:`BoundCache.stats_snapshot`: reporting
+        reads a shared cache's counters through this method so the snapshot
+        never tears across a concurrent worker's update.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def export_entries(self) -> list:
         """Snapshot of every ``(key, optimum)`` pair in LRU order (oldest first).

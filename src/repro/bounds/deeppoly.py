@@ -374,7 +374,7 @@ class DeepPolyAnalyzer:
             cache.put_layer(layer, keys[row], SubstitutionEntry(
                 lower[row], upper[row], ls[row], us[row], ui[row],
                 row_infeasible, entry.forms))
-        cache.stats.delta_corrections += len(corrected)
+        cache.record_delta_corrections(len(corrected))
 
     @staticmethod
     def _usable_delta(parent: Optional[SplitAssignment], splits: SplitAssignment,
@@ -457,7 +457,7 @@ class DeepPolyAnalyzer:
                             relaxation.lower_slope, relaxation.upper_slope,
                             relaxation.upper_intercept, layer_infeasible,
                             parent_entry.forms))
-                        cache.stats.delta_corrections += 1
+                        cache.record_delta_corrections()
                         corrected = True
                 if not corrected:
                     weight = network.weights[layer]

@@ -28,7 +28,7 @@ as
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ from repro.core.mcts import (
     select_frontier,
 )
 from repro.core.potentiality import PotentialityScorer
-from repro.engine.driver import DriverVerdict, WorkSource, FrontierDriver
+from repro.engine.driver import DriverVerdict, Neuron, WorkSource, FrontierDriver
 from repro.nn.network import Network
 from repro.specs.properties import Specification
 from repro.utils.timing import Budget
@@ -133,7 +133,8 @@ class MctsFrontierSource(WorkSource):
             return False
         return True
 
-    def next_item(self, budget: Budget, gathered: int, planned: int):
+    def next_item(self, budget: Budget, gathered: int,
+                  planned: int) -> Optional[MctsNode]:
         """Yield the next selected leaf, re-checking the node headroom."""
         if self._cursor >= len(self._leaves):
             return None
@@ -149,7 +150,7 @@ class MctsFrontierSource(WorkSource):
         self._cursor += 1
         return leaf
 
-    def select_neuron(self, leaf: MctsNode):
+    def select_neuron(self, leaf: MctsNode) -> Optional[Neuron]:
         """Pick the leaf's branching neuron with the configured heuristic."""
         context = BranchingContext(network=self.appver.lowered,
                                    spec=self.spec.output_spec,
@@ -157,7 +158,8 @@ class MctsFrontierSource(WorkSource):
                                    evaluate_split=self._probe)
         return self.heuristic.select(context)
 
-    def child_splits(self, leaf: MctsNode, neuron, phases) -> List[SplitAssignment]:
+    def child_splits(self, leaf: MctsNode, neuron: Neuron,
+                     phases: Sequence[int]) -> List[SplitAssignment]:
         """Record the branch neuron and derive the children's assignments."""
         leaf.branch_neuron = neuron
         return [leaf.splits.with_split(ReluSplit(neuron[0], neuron[1], phase))

@@ -133,7 +133,7 @@ class WorkSource(abc.ABC):
         return True
 
     @abc.abstractmethod
-    def next_item(self, budget: Budget, gathered: int, planned: int):
+    def next_item(self, budget: Budget, gathered: int, planned: int) -> Any:
         """Pop the next work item, or ``None`` to stop gathering this round.
 
         ``gathered`` is the number of expansions already planned this round
@@ -145,10 +145,10 @@ class WorkSource(abc.ABC):
         """
 
     @abc.abstractmethod
-    def select_neuron(self, item) -> Optional[Neuron]:
+    def select_neuron(self, item: Any) -> Optional[Neuron]:
         """Pick the item's branching neuron, or ``None`` for a decided leaf."""
 
-    def item_splits(self, item) -> Optional[SplitAssignment]:
+    def item_splits(self, item: Any) -> Optional[SplitAssignment]:
         """The item's own split assignment (the parent of its children).
 
         The driver threads it through ``evaluate_batch(parents=...)`` so the
@@ -158,12 +158,12 @@ class WorkSource(abc.ABC):
         return None
 
     @abc.abstractmethod
-    def child_splits(self, item, neuron: Neuron,
+    def child_splits(self, item: Any, neuron: Neuron,
                      phases: Sequence[int]) -> List[SplitAssignment]:
         """Split assignments of the item's children, aligned with ``phases``."""
 
     @abc.abstractmethod
-    def push_back(self, item, gathered: int) -> Optional[DriverVerdict]:
+    def push_back(self, item: Any, gathered: int) -> Optional[DriverVerdict]:
         """Budget starvation: no child of ``item`` is affordable.
 
         Queue/heap sources re-enqueue the item (and return TIMEOUT when
@@ -183,7 +183,7 @@ class WorkSource(abc.ABC):
         """
 
     @abc.abstractmethod
-    def attach(self, item, phase: int, splits: SplitAssignment,
+    def attach(self, item: Any, phase: int, splits: SplitAssignment,
                outcome: AppVerOutcome) -> Optional[DriverVerdict]:
         """Attach one bounded child (already charged) to the search state."""
 
@@ -196,7 +196,7 @@ class WorkSource(abc.ABC):
         """
         return None
 
-    def leaf_attached(self, item, added: int) -> bool:
+    def leaf_attached(self, item: Any, added: int) -> bool:
         """All of ``item``'s children for this round are attached.
 
         ``added`` is at least 1.  Tree sources back-propagate here and
@@ -245,7 +245,7 @@ class LinearWorkSource(WorkSource):
         self.root_bound = root_bound
         self.has_unknown_leaf = False
 
-    def next_item(self, budget: Budget, gathered: int, planned: int):
+    def next_item(self, budget: Budget, gathered: int, planned: int) -> Any:
         """Pop the next sub-problem, minding the wall clock before the pop."""
         if not self.has_work():
             return None
@@ -255,7 +255,7 @@ class LinearWorkSource(WorkSource):
             return self.timeout()
         return self._pop()
 
-    def push_back(self, item, gathered: int) -> Optional[DriverVerdict]:
+    def push_back(self, item: Any, gathered: int) -> Optional[DriverVerdict]:
         """Budget starvation: re-insert the item (TIMEOUT when round empty)."""
         if not gathered:
             return self.timeout()

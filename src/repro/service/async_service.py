@@ -29,10 +29,14 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import threading
-from typing import AsyncIterator, Dict, Iterable, List, Optional
+from typing import AsyncIterator, Callable, Dict, Iterable, List, Optional
 
+from repro.nn.network import Network
 from repro.service.jobs import JobRequest, JobResult
+from repro.service.pool import FingerprintCachePool
 from repro.service.scheduler import ServiceConfig, VerificationService
+from repro.specs.properties import Specification
+from repro.utils.timing import Budget
 from repro.utils.validation import require
 
 
@@ -88,9 +92,11 @@ class AsyncVerificationService:
         return loop
 
     # -- submission ------------------------------------------------------------
-    async def submit(self, network, spec, budget=None, priority: int = 0,
+    async def submit(self, network: Network, spec: Specification,
+                     budget: Optional[Budget] = None, priority: int = 0,
                      deadline_seconds: Optional[float] = None,
-                     verifier_factory=None,
+                     verifier_factory: Optional[
+                         Callable[[object], object]] = None,
                      metadata: Optional[dict] = None) -> str:
         """Submit one job, awaiting a slot when ``max_pending`` are in flight."""
         request = JobRequest(network=network, spec=spec, budget=budget,
@@ -106,14 +112,14 @@ class AsyncVerificationService:
         await self._slots.acquire()
         try:
             job_id = self._service.submit_request(request)
-        except BaseException:
+        except BaseException:  # noqa: BLE001 - slot must be freed on any submit failure (incl. CancelledError), then re-raised
             self._slots.release()
             raise
         # No await between the service submit and the waiter registration,
         # so the completion callback (scheduled onto this same loop) cannot
         # observe a missing waiter.
         self._waiters[job_id] = self._loop.create_future()
-        self._submitted += 1
+        self._submitted += 1  # lint: disable=lock-discipline - loop-thread confined: only bound-loop coroutines write it
         return job_id
 
     # -- results ---------------------------------------------------------------
@@ -167,7 +173,7 @@ class AsyncVerificationService:
         return self._service
 
     @property
-    def pool(self):
+    def pool(self) -> FingerprintCachePool:
         """The fingerprint cache pool (shared with the threaded service)."""
         return self._service.pool
 
@@ -195,7 +201,7 @@ class AsyncVerificationService:
     def _resolve(self, done: JobResult) -> None:
         """Loop side of the handoff: settle the waiter, free a slot."""
         self._finished[done.job_id] = done
-        self._resolved += 1
+        self._resolved += 1  # lint: disable=lock-discipline - loop-thread confined: _resolve runs via call_soon_threadsafe
         self._slots.release()
         future = self._waiters.get(done.job_id)
         if future is not None and not future.done():

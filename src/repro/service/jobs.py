@@ -46,7 +46,7 @@ class JobRequest:
     budget: Optional[Budget] = None
     priority: int = 0
     deadline_seconds: Optional[float] = None
-    verifier_factory: Optional[Callable[[object], object]] = None
+    verifier_factory: Optional[Callable[[object], object]] = None  # lint: disable=payload-pickle-safety - deliberately callable: the process transport pickles it separately and falls back to in-process execution (UnpicklableJob) when it cannot cross the pipe
     metadata: Dict[str, object] = field(default_factory=dict)
 
 

@@ -49,7 +49,7 @@ import threading
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.bounds.cache import (
     DEFAULT_CACHE_SIZE,
@@ -89,8 +89,10 @@ class CacheBundle:
         ``hit_rate`` do not difference meaningfully.
         """
         snapshot: Dict[str, int] = {}
-        for prefix, stats in (("lp", self.lp_cache.stats.as_dict()),
-                              ("bound", self.bound_cache.stats.as_dict())):
+        # stats_snapshot() reads under each cache's lock, so the per-cache
+        # counters cannot tear while a worker thread is mid-update.
+        for prefix, stats in (("lp", self.lp_cache.stats_snapshot()),
+                              ("bound", self.bound_cache.stats_snapshot())):
             for key, value in stats.items():
                 if isinstance(value, int):
                     snapshot[f"{prefix}_{key}"] = value
@@ -122,7 +124,8 @@ class CacheBundle:
         }
 
     @classmethod
-    def from_payload(cls, payload, expected_fingerprint: Optional[str] = None,
+    def from_payload(cls, payload: object,
+                     expected_fingerprint: Optional[str] = None,
                      lp_cache_size: Optional[int] = None,
                      bound_cache_size: Optional[int] = None,
                      source: str = "payload") -> "CacheBundle":
@@ -158,7 +161,7 @@ class CacheBundle:
         bound_cache.import_entries(payload["bound_entries"])
         return cls(fingerprint, lp_cache=lp_cache, bound_cache=bound_cache)
 
-    def save(self, path) -> Path:
+    def save(self, path: Union[str, Path]) -> Path:
         """Serialise this bundle's cache entries to ``path`` (atomically).
 
         The payload is a versioned pickle carrying the fingerprint, both
@@ -176,7 +179,8 @@ class CacheBundle:
         return path
 
     @classmethod
-    def load(cls, path, expected_fingerprint: Optional[str] = None,
+    def load(cls, path: Union[str, Path],
+             expected_fingerprint: Optional[str] = None,
              lp_cache_size: Optional[int] = None,
              bound_cache_size: Optional[int] = None) -> "CacheBundle":
         """Rebuild a bundle from a :meth:`save` file.
@@ -251,7 +255,7 @@ class FingerprintCachePool:
                 self._bundles[fingerprint] = found
             return found
 
-    def adopt_payload(self, payload, source: str = "worker") -> str:
+    def adopt_payload(self, payload: object, source: str = "worker") -> str:
         """Import a :meth:`CacheBundle.to_payload` dict into the pool.
 
         The worker-handover counterpart of :meth:`load_bundles`: a process
@@ -299,7 +303,7 @@ class FingerprintCachePool:
         }
 
     # -- persistence -----------------------------------------------------------
-    def save_bundles(self, directory) -> List[Path]:
+    def save_bundles(self, directory: Union[str, Path]) -> List[Path]:
         """Save every bundle to ``directory/<fingerprint>.cachebundle``.
 
         Returns the written paths (sorted by fingerprint, so directory
@@ -313,7 +317,7 @@ class FingerprintCachePool:
         return [bundle.save(directory / f"{bundle.fingerprint}{BUNDLE_SUFFIX}")
                 for bundle in bundles]
 
-    def load_bundles(self, directory) -> int:
+    def load_bundles(self, directory: Union[str, Path]) -> int:
         """Restore every ``*.cachebundle`` file under ``directory``.
 
         Loaded bundles replace same-fingerprint bundles already in the pool

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import pickle
 import time
+from multiprocessing.connection import Connection
 from typing import Callable, Optional, Set
 
 from repro.service.jobs import JobError, JobRequest
@@ -72,7 +73,8 @@ def _synthetic_timeout():
                               verifier="service", elapsed_seconds=0.0)
 
 
-def worker_main(conn, lp_cache_size: int, bound_cache_size: int) -> None:
+def worker_main(conn: Connection, lp_cache_size: int,
+                bound_cache_size: int) -> None:
     """Entry point of one shard's worker process.
 
     Serves protocol requests until ``stop`` or pipe EOF.  Holds the

@@ -71,7 +71,8 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.bounds.cache import DEFAULT_CACHE_SIZE, DEFAULT_LP_CACHE_SIZE
 from repro.nn.network import Network
@@ -474,11 +475,11 @@ class VerificationService:
         }
 
     # -- cache persistence -----------------------------------------------------
-    def save_caches(self, directory) -> List:
+    def save_caches(self, directory: Union[str, Path]) -> List[Path]:
         """Persist every fingerprint bundle to ``directory`` (see pool docs)."""
         return self.pool.save_bundles(directory)
 
-    def load_caches(self, directory) -> int:
+    def load_caches(self, directory: Union[str, Path]) -> int:
         """Warm-start the pool from a :meth:`save_caches` directory."""
         return self.pool.load_bundles(directory)
 
@@ -540,7 +541,7 @@ class VerificationService:
                                    % len(self._workers)]
             with worker.lock:
                 if worker.jobs and self._pick_job(worker) is not None:
-                    self._next_worker = (worker.index + 1) % len(self._workers)
+                    self._next_worker = (worker.index + 1) % len(self._workers)  # lint: disable=lock-discipline - dispatcher-confined round-robin cursor; only the single driving thread calls _pick_worker
                     return worker
         return None
 

@@ -60,7 +60,8 @@ class WorkerCrashed(RuntimeError):
         self.exitcode = exitcode
 
 
-def resolve_start_method(preferred: Optional[str] = None):
+def resolve_start_method(
+        preferred: Optional[str] = None) -> multiprocessing.context.BaseContext:
     """The multiprocessing context to use, or raise if none is available.
 
     ``preferred`` pins a method (``"fork"`` / ``"spawn"`` / ``"forkserver"``);

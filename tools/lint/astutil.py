@@ -1,0 +1,120 @@
+"""Small :mod:`ast` helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The dotted name of an attribute chain, outermost last.
+
+    ``np.random.seed`` → ``("np", "random", "seed")``; returns ``None``
+    when the chain is rooted in anything but a plain name (a call result,
+    a subscript), because such chains cannot be resolved statically.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class ImportAliases:
+    """Which local names refer to which imported modules/objects.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    shuffle`` maps ``shuffle -> random.shuffle``.  Rules use this to
+    resolve call sites back to the module that actually provides them, so
+    aliasing cannot dodge a ban.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: Dict[str, str] = {}
+        self.objects: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    self.objects[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    def resolve_chain(self, chain: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Rewrite a chain's root through the import aliases.
+
+        ``("np", "random", "seed")`` → ``("numpy", "random", "seed")`` when
+        ``numpy`` was imported as ``np``; ``("shuffle",)`` →
+        ``("random", "shuffle")`` after ``from random import shuffle``.
+        Chains whose root is not an import are returned unchanged.
+        """
+        root = chain[0]
+        if root in self.modules:
+            return tuple(self.modules[root].split(".")) + chain[1:]
+        if root in self.objects:
+            return tuple(self.objects[root].split(".")) + chain[1:]
+        return chain
+
+
+def self_attribute_target(target: ast.AST) -> Optional[str]:
+    """The dotted attribute written when ``target`` assigns into ``self``.
+
+    ``self.x`` → ``"x"``, ``self.stats.hits`` → ``"stats.hits"``; ``None``
+    for anything that is not a plain attribute chain rooted at ``self``
+    (subscript stores like ``self.jobs[0] = ...`` mutate a container the
+    attribute points to, not the attribute binding itself).
+    """
+    chain = attribute_chain(target)
+    if chain is None or len(chain) < 2 or chain[0] != "self":
+        return None
+    return ".".join(chain[1:])
+
+
+def assignment_targets(node: ast.AST) -> List[ast.AST]:
+    """Every target expression written by an assignment-like statement."""
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target] if getattr(node, "value", True) is not None \
+            else []
+    else:
+        return []
+    flat: List[ast.AST] = []
+    stack = targets
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+        else:
+            flat.append(target)
+    return flat
+
+
+def decorator_name(decorator: ast.AST) -> str:
+    """The terminal identifier of a decorator (``prop.setter`` → ``setter``)."""
+    target = decorator
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return ""
+
+
+def is_public_name(name: str) -> bool:
+    """Public by Python convention: no leading underscore."""
+    return not name.startswith("_")
+
+
+def is_dunder(name: str) -> bool:
+    """Whether ``name`` is a ``__dunder__`` method name."""
+    return name.startswith("__") and name.endswith("__")

@@ -1,0 +1,76 @@
+"""exception-discipline: broad handlers are marked isolation boundaries.
+
+The service stack survives worker crashes *because* a handful of broad
+``except Exception`` handlers sit at deliberate isolation boundaries (the
+worker loop, the pipe server, the supervisor's restart path) and convert
+arbitrary verifier failures into structured :class:`JobError` results.
+Those handlers are fine — but only when a reader can tell them apart from
+an accidental exception swallow.  The repository's pre-existing idiom
+marks every such boundary with ``# noqa: BLE001 - <reason>``; this rule
+machine-checks it:
+
+* ``except:`` (bare) is forbidden outright — it catches ``SystemExit`` and
+  ``KeyboardInterrupt``, so even an isolation boundary must spell out
+  ``except BaseException`` to show it means it;
+* ``except Exception``/``except BaseException`` (alone or in a tuple)
+  requires a ``# noqa: BLE001 - <reason>`` marker on the handler line
+  explaining what the boundary isolates.
+
+Narrow handlers (``except OSError``) need no marker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..astutil import attribute_chain
+from ..core import Finding, LintContext, Rule, register
+
+#: Handler types that count as "broad": everything and beyond.
+BROAD_NAMES = {"Exception", "BaseException"}
+
+#: The repository's isolation-boundary marker (reason mandatory).
+_NOQA_RE = re.compile(r"#\s*noqa:\s*BLE001\s*-\s*\S")
+
+
+def _broad_name(handler_type: ast.AST) -> str:
+    """The broad exception name caught by ``handler_type``, or ``""``."""
+    nodes = handler_type.elts if isinstance(handler_type, ast.Tuple) \
+        else [handler_type]
+    for node in nodes:
+        chain = attribute_chain(node)
+        if chain is not None and chain[-1] in BROAD_NAMES:
+            return chain[-1]
+    return ""
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    """Bare excepts forbidden; broad excepts need a BLE001 justification."""
+
+    id = "exception-discipline"
+    description = ("no bare `except:`; `except Exception/BaseException` "
+                   "requires `# noqa: BLE001 - <reason>` on the line")
+    scope = ("src/", "tools/")
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        """Flag bare and unmarked-broad exception handlers."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    context.relpath, node.lineno, self.id,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                    "name the exception (even `except BaseException` at an "
+                    "isolation boundary)")
+                continue
+            broad = _broad_name(node.type)
+            if broad and not _NOQA_RE.search(context.line_text(node.lineno)):
+                yield Finding(
+                    context.relpath, node.lineno, self.id,
+                    f"broad `except {broad}` without an isolation-boundary "
+                    f"marker; add `# noqa: BLE001 - <what this isolates>` "
+                    f"or narrow the handler")

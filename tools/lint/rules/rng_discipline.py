@@ -1,0 +1,79 @@
+"""rng-discipline: randomness flows through seeded ``Generator``\\ s only.
+
+Solo-identical service trajectories and replayable benchmarks (PRs 7–9)
+require every random draw in the library to be a pure function of an
+explicit seed: ``utils/rng.py`` normalises seeds into
+``numpy.random.Generator`` instances and ``bench_service.py`` derives its
+per-job RNG from the job index (``_job_rng``), never from global state.
+A single ``np.random.seed``/``np.random.rand`` call — or any stdlib
+``random`` use — reintroduces hidden global state that makes runs depend
+on import order and on *other* components' draws.
+
+The rule bans, in ``src/``:
+
+* calls through the legacy ``numpy.random`` module-state API
+  (``np.random.seed``, ``np.random.rand``, ``np.random.shuffle``, …) —
+  only the ``Generator`` construction surface (``default_rng``,
+  ``SeedSequence``, the bit generators) is allowed;
+* any import of the stdlib :mod:`random` module.
+
+Annotations like ``np.random.Generator`` are untouched: the rule flags
+*calls*, and constructing generators from explicit seeds is the sanctioned
+pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import ImportAliases, attribute_chain
+from ..core import Finding, LintContext, Rule, register
+
+#: The ``numpy.random`` construction surface that is allowed: explicit
+#: generators built from explicit seeds.
+ALLOWED_NUMPY_RANDOM = {"default_rng", "Generator", "SeedSequence",
+                        "BitGenerator", "PCG64", "PCG64DXSM", "Philox",
+                        "MT19937", "SFC64"}
+
+
+@register
+class RngDisciplineRule(Rule):
+    """No global-state RNG: seeded ``Generator`` instances only."""
+
+    id = "rng-discipline"
+    description = ("no numpy.random module-state calls and no stdlib "
+                   "`random` in src/; use seeded Generators (utils/rng.py)")
+    scope = ("src/",)
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        """Flag legacy numpy.random calls and stdlib random imports."""
+        aliases = ImportAliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" \
+                            or alias.name.startswith("random."):
+                        yield Finding(
+                            context.relpath, node.lineno, self.id,
+                            "stdlib `random` is global-state RNG; use "
+                            "repro.utils.rng.as_rng / spawn_rng instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield Finding(
+                        context.relpath, node.lineno, self.id,
+                        "stdlib `random` is global-state RNG; use "
+                        "repro.utils.rng.as_rng / spawn_rng instead")
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain is None:
+                    continue
+                resolved = aliases.resolve_chain(chain)
+                if (len(resolved) >= 3 and resolved[0] == "numpy"
+                        and resolved[1] == "random"
+                        and resolved[2] not in ALLOWED_NUMPY_RANDOM):
+                    yield Finding(
+                        context.relpath, node.lineno, self.id,
+                        f"np.random.{resolved[2]}() mutates/reads global "
+                        f"RNG state; draw from a seeded "
+                        f"numpy.random.Generator instead")

@@ -1,0 +1,82 @@
+"""wallclock-discipline: the library reads the clock in one place only.
+
+Deterministic trajectories — the property the whole transport-conformance
+suite pins (a job's verdict/charges/counterexample are byte-identical to a
+solo run) — and replayable benchmarks both break the moment verifier code
+reads the wall clock directly: elapsed time would flow into decisions that
+must be pure functions of the problem and the budget.  All timing therefore
+goes through ``repro/utils/timing.py`` (``Stopwatch``, ``PhaseTimings``,
+``Budget`` — the budget's auto-starting clock is the *sanctioned* way to
+bound a run by seconds).
+
+The rule bans, in ``src/`` outside ``utils/timing.py``:
+
+* ``time.time()``, ``time.perf_counter()``, ``time.process_time()`` (and
+  their ``_ns`` variants) — measure through ``Stopwatch``/``PhaseTimings``;
+* ``datetime.now()`` / ``datetime.utcnow()`` / ``date.today()`` — wall-clock
+  timestamps have no place in verification logic.
+
+``time.monotonic()`` stays allowed: the service scheduler uses it for
+*deadlines and backoff* (absolute scheduling instants comparable across
+processes), which is scheduling policy, not verification state — and the
+conformance suite pins that policy's observable behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import ImportAliases, attribute_chain
+from ..core import Finding, LintContext, Rule, register
+
+#: Banned functions of the :mod:`time` module.
+BANNED_TIME = {"time", "time_ns", "perf_counter", "perf_counter_ns",
+               "process_time", "process_time_ns", "clock"}
+
+#: Banned wall-clock constructors of :mod:`datetime` classes.
+BANNED_DATETIME = {"now", "utcnow", "today"}
+
+
+@register
+class WallclockDisciplineRule(Rule):
+    """Raw clock reads are confined to ``repro/utils/timing.py``."""
+
+    id = "wallclock-discipline"
+    description = ("no raw time.time()/perf_counter()/datetime.now() in "
+                   "src/ outside utils/timing.py; use Stopwatch/Budget")
+    scope = ("src/",)
+    exempt = ("src/repro/utils/timing.py",)
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        """Flag direct wall-clock reads."""
+        aliases = ImportAliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module == "time":
+                banned = sorted(alias.name for alias in node.names
+                                if alias.name in BANNED_TIME)
+                if banned:
+                    yield Finding(
+                        context.relpath, node.lineno, self.id,
+                        f"importing {', '.join(banned)} from time; measure "
+                        f"through repro.utils.timing instead")
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain is None:
+                    continue
+                resolved = aliases.resolve_chain(chain)
+                if resolved[0] == "time" and len(resolved) == 2 \
+                        and resolved[1] in BANNED_TIME:
+                    yield Finding(
+                        context.relpath, node.lineno, self.id,
+                        f"time.{resolved[1]}() is a raw wall-clock read; "
+                        f"use Stopwatch/PhaseTimings/Budget "
+                        f"(repro.utils.timing)")
+                elif resolved[0] == "datetime" \
+                        and resolved[-1] in BANNED_DATETIME:
+                    yield Finding(
+                        context.relpath, node.lineno, self.id,
+                        f"datetime {'.'.join(resolved[1:])}() reads the "
+                        f"wall clock; verification logic must not "
+                        f"timestamp itself")
